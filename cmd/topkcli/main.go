@@ -1,0 +1,131 @@
+// Command topkcli is an interactive shell over the topk index: load
+// synthetic data, insert, delete, query, and watch the I/O meter. It
+// exists to poke at the structure by hand.
+//
+//	$ topkcli -n 10000
+//	> top 100 200 5
+//	> insert 150.5 9.99
+//	> delete 150.5 9.99
+//	> count 0 1000
+//	> stats
+//	> help
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	topk "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 10000, "synthetic points to preload")
+	b := flag.Int("B", 64, "block size in words")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	idx := topk.New(topk.Config{BlockWords: *b, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
+	gen := workload.NewGen(*seed)
+	for _, p := range gen.Uniform(*n, 1e6) {
+		idx.Insert(p.X, p.Score)
+	}
+	fmt.Printf("loaded %d points (B=%d, k-threshold %d, %s)\n",
+		idx.Len(), idx.BlockSize(), idx.KThreshold(), idx.Regime())
+	fmt.Println(`commands: top x1 x2 k | count x1 x2 | insert x score | delete x score | stats | reset | quit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit", "q":
+			return
+		case "help":
+			fmt.Println("top x1 x2 k | count x1 x2 | insert x score | delete x score | stats | reset | quit")
+		case "stats":
+			s := idx.Stats()
+			fmt.Printf("reads=%d writes=%d live=%d peak=%d n=%d\n",
+				s.Reads, s.Writes, s.BlocksLive, s.BlocksPeak, idx.Len())
+		case "reset":
+			idx.ResetStats()
+			idx.DropCache()
+			fmt.Println("meter reset, cache dropped")
+		case "top":
+			args, err := floats(fields[1:], 3)
+			if err != nil {
+				fmt.Println("usage: top x1 x2 k")
+				continue
+			}
+			before := idx.Stats()
+			res := idx.TopK(args[0], args[1], int(args[2]))
+			after := idx.Stats()
+			for i, r := range res {
+				fmt.Printf("%3d. x=%.4f score=%.4f\n", i+1, r.X, r.Score)
+			}
+			fmt.Printf("(%d results, %d read I/Os)\n", len(res), after.Reads-before.Reads)
+		case "count":
+			args, err := floats(fields[1:], 2)
+			if err != nil {
+				fmt.Println("usage: count x1 x2")
+				continue
+			}
+			fmt.Println(idx.Count(args[0], args[1]))
+		case "insert":
+			args, err := floats(fields[1:], 2)
+			if err != nil {
+				fmt.Println("usage: insert x score")
+				continue
+			}
+			if insertSafe(idx, args[0], args[1]) {
+				fmt.Println("ok")
+			} else {
+				fmt.Println("rejected: duplicate position or score")
+			}
+		case "delete":
+			args, err := floats(fields[1:], 2)
+			if err != nil {
+				fmt.Println("usage: delete x score")
+				continue
+			}
+			fmt.Println(idx.Delete(args[0], args[1]))
+		default:
+			fmt.Printf("unknown command %q (try help)\n", fields[0])
+		}
+	}
+}
+
+func floats(fields []string, want int) ([]float64, error) {
+	if len(fields) != want {
+		return nil, fmt.Errorf("want %d args", want)
+	}
+	out := make([]float64, want)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func insertSafe(idx *topk.Index, x, score float64) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	idx.Insert(x, score)
+	return true
+}

@@ -1,0 +1,54 @@
+package topk_test
+
+import (
+	"fmt"
+
+	topk "repro"
+)
+
+// The paper's §1 motivating query: "find the best-rated hotels whose
+// prices are between 100 and 200 dollars per night".
+func Example() {
+	idx := topk.New(topk.Config{})
+	hotels := []struct{ price, rating float64 }{
+		{142.50, 9.1}, {99.99, 8.4}, {180.00, 7.7}, {250.00, 9.9}, {120.00, 8.9},
+	}
+	for _, h := range hotels {
+		idx.Insert(h.price, h.rating)
+	}
+	for _, r := range idx.TopK(100, 200, 2) {
+		fmt.Printf("$%.2f rated %.1f\n", r.X, r.Score)
+	}
+	// Output:
+	// $142.50 rated 9.1
+	// $120.00 rated 8.9
+}
+
+// Deletions are first-class: the structure stays balanced and correct
+// under arbitrary update interleavings at O(log_B n) amortized I/Os.
+func ExampleIndex_Delete() {
+	idx := topk.New(topk.Config{})
+	idx.Insert(1, 10)
+	idx.Insert(2, 20)
+	idx.Insert(3, 30)
+	idx.Delete(3, 30)
+	fmt.Println(len(idx.TopK(0, 10, 5)), idx.TopK(0, 10, 1)[0].Score)
+	// Output:
+	// 2 20
+}
+
+// The I/O meter exposes the external-memory cost model directly: reads
+// and writes are block transfers through an LRU pool of M/B frames.
+func ExampleIndex_Stats() {
+	idx := topk.New(topk.Config{BlockWords: 8, MemoryWords: 16})
+	for i := 0; i < 64; i++ {
+		idx.Insert(float64(i), float64(i*37%64))
+	}
+	idx.ResetStats()
+	idx.DropCache()
+	idx.TopK(10, 50, 3)
+	s := idx.Stats()
+	fmt.Println(s.Reads > 0, s.BlocksLive > 0)
+	// Output:
+	// true true
+}

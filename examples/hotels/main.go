@@ -1,0 +1,80 @@
+// Command hotels realizes the paper's §1 motivating scenario: "find the
+// 10 best-rated hotels whose prices are between 100 and 200 dollars per
+// night". It loads a synthetic hotel catalogue (log-normal prices,
+// ratings lightly correlated with price), serves a mix of interactive
+// queries, applies live updates (price changes re-index the hotel), and
+// reports the I/O cost per operation.
+package main
+
+import (
+	"fmt"
+
+	topk "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	const nHotels = 50000
+	gen := workload.NewGen(2024)
+	hotels, _ := gen.Hotels(nHotels)
+
+	idx := topk.New(topk.Config{BlockWords: 64, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
+	for _, h := range hotels {
+		idx.Insert(h.Price, h.Rating)
+	}
+	fmt.Printf("catalogue: %d hotels indexed; %s; k-threshold %d\n\n",
+		idx.Len(), idx.Regime(), idx.KThreshold())
+
+	// The §1 query.
+	idx.ResetStats()
+	idx.DropCache()
+	fmt.Println("ten best-rated hotels with price in [$100, $200]:")
+	for i, r := range idx.TopK(100, 200, 10) {
+		fmt.Printf("  %2d. $%7.2f  rating %.2f\n", i+1, r.X, r.Score)
+	}
+	s := idx.Stats()
+	fmt.Printf("  → answered in %d read I/Os (n=%d, B=%d)\n\n", s.Reads, idx.Len(), idx.BlockSize())
+
+	// Price bands of varying selectivity.
+	for _, band := range [][2]float64{{50, 90}, {90, 140}, {140, 220}, {220, 500}} {
+		idx.ResetStats()
+		idx.DropCache()
+		top := idx.TopK(band[0], band[1], 5)
+		s := idx.Stats()
+		fmt.Printf("band [$%.0f,$%.0f]: %5d hotels, best rating %.2f, top-5 in %d reads\n",
+			band[0], band[1], idx.Count(band[0], band[1]), top[0].Score, s.Reads)
+	}
+
+	// Live repricing: hotels move between bands without rebuilds.
+	fmt.Println("\nrepricing 1000 hotels (delete + insert each):")
+	idx.ResetStats()
+	for i := 0; i < 1000; i++ {
+		h := hotels[i]
+		idx.Delete(h.Price, h.Rating)
+		newPrice := h.Price * 1.07
+		for !tryInsert(idx, newPrice, h.Rating) {
+			newPrice += 0.0001
+		}
+		hotels[i].Price = newPrice
+	}
+	s = idx.Stats()
+	fmt.Printf("  → %d I/Os total, %.1f amortized per update\n",
+		s.Reads+s.Writes, float64(s.Reads+s.Writes)/2000)
+
+	fmt.Println("\nten best-rated in [$100,$200] after repricing:")
+	for i, r := range idx.TopK(100, 200, 10) {
+		fmt.Printf("  %2d. $%7.2f  rating %.2f\n", i+1, r.X, r.Score)
+	}
+}
+
+// tryInsert inserts unless the price collides with an existing point
+// (positions must be distinct).
+func tryInsert(idx *topk.Index, pos, score float64) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	idx.Insert(pos, score)
+	return true
+}

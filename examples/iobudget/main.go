@@ -1,0 +1,80 @@
+// Command iobudget demonstrates the I/O accounting and regime machinery
+// that make this a reproduction of an external-memory paper rather than
+// a plain in-memory index: it shows how query cost decomposes into the
+// O(log_B n) search term and the O(k/B) output term, where the
+// composed structure switches between its §3.3 and §2 components
+// (k ≷ B·lg n), and how the block size B changes everything.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	topk "repro"
+	"repro/internal/workload"
+)
+
+func buildIdx(b, n int) *topk.Index {
+	gen := workload.NewGen(42)
+	idx := topk.New(topk.Config{BlockWords: b, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
+	for _, p := range gen.Uniform(n, 1e6) {
+		idx.Insert(p.X, p.Score)
+	}
+	return idx
+}
+
+func coldQueryReads(idx *topk.Index, x1, x2 float64, k, reps int) float64 {
+	idx.ResetStats()
+	total := int64(0)
+	for i := 0; i < reps; i++ {
+		idx.DropCache()
+		before := idx.Stats().Reads
+		idx.TopK(x1, x2, k)
+		total += idx.Stats().Reads - before
+	}
+	return float64(total) / float64(reps)
+}
+
+func main() {
+	const n = 40000
+	idx := buildIdx(64, n)
+	fmt.Printf("index: n=%d, B=%d, k-threshold B·lg n = %d, small-k regime %s\n\n",
+		n, idx.BlockSize(), idx.KThreshold(), idx.Regime())
+
+	fmt.Println("query cost vs k (cold cache, range = middle 50% of the domain):")
+	fmt.Printf("%8s %12s %14s %s\n", "k", "read I/Os", "k/B term", "component")
+	for _, k := range []int{1, 8, 64, 512, idx.KThreshold(), 4 * idx.KThreshold()} {
+		comp := "§3.3 selection + reduction"
+		if k >= idx.KThreshold() {
+			comp = "§2 priority search tree"
+		}
+		reads := coldQueryReads(idx, 25e4, 75e4, k, 5)
+		fmt.Printf("%8d %12.1f %14.1f %s\n", k, reads, float64(k)/float64(idx.BlockSize()), comp)
+	}
+
+	fmt.Println("\nupdate cost vs n (amortized over 2000 inserts, predicted shape log_B n):")
+	fmt.Printf("%10s %14s %12s\n", "n", "I/Os/insert", "log_B n")
+	gen := workload.NewGen(1)
+	for _, sz := range []int{4000, 16000, 64000} {
+		idx := topk.New(topk.Config{BlockWords: 64, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
+		pts := gen.Uniform(sz+2000, 1e6)
+		for _, p := range pts[:sz] {
+			idx.Insert(p.X, p.Score)
+		}
+		idx.ResetStats()
+		for _, p := range pts[sz:] {
+			idx.Insert(p.X, p.Score)
+		}
+		s := idx.Stats()
+		fmt.Printf("%10d %14.1f %12.2f\n", sz,
+			float64(s.Reads+s.Writes)/2000, math.Log(float64(sz))/math.Log(64))
+	}
+
+	fmt.Println("\nsame index contents, varying block size B (k=64, cold):")
+	fmt.Printf("%6s %12s %12s\n", "B", "read I/Os", "blocks live")
+	for _, b := range []int{16, 64, 256} {
+		idx := buildIdx(b, 20000)
+		reads := coldQueryReads(idx, 25e4, 75e4, 64, 5)
+		fmt.Printf("%6d %12.1f %12d\n", b, reads, idx.Stats().BlocksLive)
+	}
+}

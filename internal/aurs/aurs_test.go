@@ -1,0 +1,231 @@
+package aurs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// sliceSet implements Set over a descending-sorted slice, with an
+// adversarially sloppy Rank operator controlled by slop ∈ [0,1): it
+// returns the element of rank ⌊ρ + slop·(c1·ρ − 1 − ρ)⌋ (clamped), i.e.
+// anywhere legal inside [ρ, c1·ρ). It counts operator calls.
+type sliceSet struct {
+	vals      []float64 // descending
+	c1        int
+	slop      float64
+	maxCalls  int
+	rankCalls int
+}
+
+func (s *sliceSet) Len() int { return len(s.vals) }
+
+func (s *sliceSet) Max() float64 {
+	s.maxCalls++
+	return s.vals[0]
+}
+
+func (s *sliceSet) Rank(rho float64) float64 {
+	s.rankCalls++
+	lo := rho
+	hi := float64(s.c1)*rho - 1
+	r := int(lo + s.slop*(hi-lo))
+	if r < int(rho) {
+		r = int(rho)
+		if float64(r) < rho {
+			r++
+		}
+	}
+	if r > len(s.vals) {
+		r = len(s.vals)
+	}
+	if r < 1 {
+		r = 1
+	}
+	return s.vals[r-1]
+}
+
+func buildSets(m, minSize, maxSize int, seed int64, c1 int, slop float64) ([]*sliceSet, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[float64]bool{}
+	var all []float64
+	sets := make([]*sliceSet, m)
+	for i := 0; i < m; i++ {
+		n := minSize + rng.Intn(maxSize-minSize+1)
+		var vals []float64
+		for len(vals) < n {
+			v := rng.Float64() * 1e9
+			if !seen[v] {
+				seen[v] = true
+				vals = append(vals, v)
+				all = append(all, v)
+			}
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+		sets[i] = &sliceSet{vals: vals, c1: c1, slop: slop}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+	return sets, all
+}
+
+func unionRank(all []float64, v float64) int {
+	return sort.Search(len(all), func(i int) bool { return all[i] < v })
+}
+
+func asSets(ss []*sliceSet) []Set {
+	out := make([]Set, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+func TestSelectGuaranteeExactRank(t *testing.T) {
+	// slop=0 → Rank returns exactly rank ⌈ρ⌉.
+	for _, m := range []int{1, 2, 5, 16, 64} {
+		sets, all := buildSets(m, 200, 400, int64(m), 2, 0)
+		for _, k := range []int{1, 3, 10, 50, 100} {
+			v := Select(asSets(sets), 2, k)
+			r := unionRank(all, v)
+			if r < k || r > Bound(2)*k {
+				t.Fatalf("m=%d k=%d: rank %d outside [%d,%d]", m, k, r, k, Bound(2)*k)
+			}
+		}
+	}
+}
+
+func TestSelectGuaranteeSloppyRank(t *testing.T) {
+	for _, slop := range []float64{0.3, 0.7, 0.99} {
+		for _, m := range []int{2, 8, 32} {
+			sets, all := buildSets(m, 300, 500, int64(m*100), 2, slop)
+			for _, k := range []int{1, 7, 40, 120} {
+				v := Select(asSets(sets), 2, k)
+				r := unionRank(all, v)
+				if r < k || r > Bound(2)*k {
+					t.Fatalf("slop=%v m=%d k=%d: rank %d outside [%d,%d]",
+						slop, m, k, r, k, Bound(2)*k)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectC1Three(t *testing.T) {
+	sets, all := buildSets(6, 400, 600, 42, 3, 0.5)
+	for _, k := range []int{1, 5, 25, 100} {
+		v := Select(asSets(sets), 3, k)
+		r := unionRank(all, v)
+		if r < k || r > Bound(3)*k {
+			t.Fatalf("k=%d: rank %d outside [%d,%d]", k, r, k, Bound(3)*k)
+		}
+	}
+}
+
+func TestSelectKLessThanM(t *testing.T) {
+	// Exercises the Max-pruning branch: m=50 sets, k as small as 1.
+	sets, all := buildSets(50, 100, 200, 7, 2, 0.5)
+	for _, k := range []int{1, 2, 10, 49} {
+		v := Select(asSets(sets), 2, k)
+		r := unionRank(all, v)
+		if r < k || r > Bound(2)*k {
+			t.Fatalf("k=%d: rank %d outside [%d,%d]", k, r, k, Bound(2)*k)
+		}
+	}
+	for _, s := range sets {
+		if s.maxCalls == 0 {
+			t.Fatal("Max branch not exercised")
+		}
+	}
+}
+
+func TestOperatorCallsLinear(t *testing.T) {
+	// Total Rank calls must be O(m): Σ m/c^(j-1) ≤ 2m for c=2, plus one
+	// Max per set in the k<m branch.
+	for _, m := range []int{4, 16, 64, 256} {
+		sets, _ := buildSets(m, 5*m, 6*m, int64(m), 2, 0.2)
+		Select(asSets(sets), 2, 2*m) // k ≥ m branch
+		total := 0
+		for _, s := range sets {
+			total += s.rankCalls
+			if s.maxCalls != 0 {
+				t.Fatalf("m=%d: Max called in k≥m branch", m)
+			}
+		}
+		if total > 2*m+2 {
+			t.Fatalf("m=%d: %d Rank calls, want ≤ 2m+2", m, total)
+		}
+	}
+}
+
+func TestPreconditionPanics(t *testing.T) {
+	sets, _ := buildSets(3, 50, 60, 1, 2, 0)
+	for _, k := range []int{0, -1, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d accepted", k)
+				}
+			}()
+			Select(asSets(sets), 2, k)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("c1=1 accepted")
+			}
+		}()
+		Select(asSets(sets), 1, 5)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty set list accepted")
+			}
+		}()
+		Select(nil, 2, 1)
+	}()
+}
+
+func TestSingleSet(t *testing.T) {
+	sets, all := buildSets(1, 500, 500, 3, 2, 0.9)
+	for _, k := range []int{1, 10, 100, 250} {
+		v := Select(asSets(sets), 2, k)
+		r := unionRank(all, v)
+		if r < k || r > Bound(2)*k {
+			t.Fatalf("k=%d: rank %d", k, r)
+		}
+	}
+}
+
+// Property: the guarantee holds for random m, k, slop.
+func TestQuickSelectGuarantee(t *testing.T) {
+	f := func(mRaw, kRaw uint8, slopRaw uint16, seed int64) bool {
+		m := int(mRaw)%24 + 1
+		slop := float64(slopRaw%1000) / 1000
+		sets, all := buildSets(m, 150, 300, seed, 2, slop)
+		minLen := sets[0].Len()
+		for _, s := range sets {
+			if s.Len() < minLen {
+				minLen = s.Len()
+			}
+		}
+		k := int(kRaw)%(minLen/2) + 1
+		v := Select(asSets(sets), 2, k)
+		r := unionRank(all, v)
+		return r >= k && r <= Bound(2)*k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelect64Sets(b *testing.B) {
+	sets, _ := buildSets(64, 500, 700, 1, 2, 0.5)
+	ss := asSets(sets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Select(ss, 2, 128)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+// Focused tests of the §3.3 reduction path (approximate selection →
+// three-sided reporting → in-memory top-k), including the defensive
+// degradation branch and threshold-straddling behaviour.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/em"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func TestReductionPathServesSmallK(t *testing.T) {
+	gen := workload.NewGen(200)
+	pts := gen.Uniform(2000, 1e5)
+	ix := Bulk(newDisk(32), testOpts(), pts)
+	oracle := verify.NewOracle(pts)
+	// k = 1 is the extreme of the reduction path (τ near the maximum).
+	for _, q := range gen.Queries(80, 1e5, 0.02, 0.9, 1) {
+		got := ix.Query(q.X1, q.X2, 1)
+		want := oracle.TopK(q.X1, q.X2, 1)
+		if err := verify.DiffTopK(got, want); err != nil {
+			t.Fatalf("k=1 %+v: %v", q, err)
+		}
+	}
+}
+
+func TestReductionAtThresholdBoundary(t *testing.T) {
+	gen := workload.NewGen(201)
+	pts := gen.Uniform(3000, 1e5)
+	ix := Bulk(newDisk(16), testOpts(), pts)
+	oracle := verify.NewOracle(pts)
+	thr := ix.KThreshold()
+	for _, k := range []int{thr - 2, thr - 1, thr, thr + 1, thr + 2} {
+		got := ix.Query(1e3, 9e4, k)
+		want := oracle.TopK(1e3, 9e4, k)
+		if err := verify.DiffTopK(got, want); err != nil {
+			t.Fatalf("k=%d (threshold %d): %v", k, thr, err)
+		}
+	}
+}
+
+func TestReductionSparseRange(t *testing.T) {
+	// Ranges with very few points exercise the "fewer than k in range"
+	// branch (three-sided report with τ = −∞).
+	gen := workload.NewGen(202)
+	pts := gen.Clustered(1500, 3, 1e6)
+	ix := Bulk(newDisk(32), testOpts(), pts)
+	oracle := verify.NewOracle(pts)
+	for _, q := range gen.Queries(120, 1e6, 0.001, 0.02, 30) {
+		got := ix.Query(q.X1, q.X2, q.K)
+		want := oracle.TopK(q.X1, q.X2, q.K)
+		if err := verify.DiffTopK(got, want); err != nil {
+			t.Fatalf("sparse %+v: %v", q, err)
+		}
+	}
+}
+
+func TestReductionIOCostSmallK(t *testing.T) {
+	d := em.NewDisk(em.Config{B: 64, M: 256 * 64})
+	gen := workload.NewGen(203)
+	pts := gen.Uniform(30000, 1e6)
+	ix := Bulk(d, Options{Regime: RegimePolylog, PolylogF: 8, PolylogLeafCap: 2048}, pts)
+	d.DropCache()
+	base := d.Stats()
+	const queries = 10
+	for i := 0; i < queries; i++ {
+		x1 := float64(i) * 3e4
+		ix.Query(x1, x1+5e5, 8)
+		d.DropCache()
+	}
+	per := float64(d.Stats().Sub(base).Reads) / queries
+	// O(log_B n + k/B): with B=64 and n=30000 the prediction is ~2.5 +
+	// 0.1; measured constants include AURS probes and the 3-sided
+	// report of O(k) points. The envelope guards against regressions to
+	// scanning behaviour (which would cost thousands of reads).
+	if per > 500 {
+		t.Fatalf("small-k query cost %.1f reads", per)
+	}
+	t.Logf("small-k query: %.1f reads", per)
+}
+
+func TestQueryInvalidInputs(t *testing.T) {
+	ix := Bulk(newDisk(32), testOpts(), workload.NewGen(204).Uniform(200, 1e4))
+	if got := ix.Query(5, 4, 3); got != nil {
+		t.Fatal("inverted range")
+	}
+	if got := ix.Query(0, 10, 0); got != nil {
+		t.Fatal("k=0")
+	}
+	if got := ix.Query(0, 10, -5); got != nil {
+		t.Fatal("negative k")
+	}
+	if got := ix.Query(math.Inf(-1), math.Inf(1), 5); len(got) != 5 {
+		t.Fatalf("full range k=5: %d", len(got))
+	}
+}

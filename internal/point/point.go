@@ -1,0 +1,63 @@
+// Package point defines the element type shared by every structure in
+// the repository: a one-dimensional point with a real-valued score.
+//
+// Following the paper (§2), a top-k query has a natural geometric
+// interpretation: map each element e to the planar point (e, score(e));
+// then the query reports the k highest points in the vertical slab
+// q × (−∞, ∞). Both coordinates are float64 and scores are assumed
+// distinct, the standard assumption that makes top-k results unique.
+package point
+
+import "sort"
+
+// P is an input element: position X with score Score.
+type P struct {
+	X     float64
+	Score float64
+}
+
+// Less orders by X, breaking ties by score (ties in X can occur; ties in
+// score are excluded by the distinct-score assumption).
+func Less(a, b P) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Score < b.Score
+}
+
+// In reports whether p lies in the closed interval [x1, x2].
+func (p P) In(x1, x2 float64) bool { return x1 <= p.X && p.X <= x2 }
+
+// SortByX sorts ps ascending by X (score tiebreak).
+func SortByX(ps []P) {
+	sort.Slice(ps, func(i, j int) bool { return Less(ps[i], ps[j]) })
+}
+
+// SortByScoreDesc sorts ps by descending score.
+func SortByScoreDesc(ps []P) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Score > ps[j].Score })
+}
+
+// TopK returns the k highest-scoring points of ps that lie in [x1, x2],
+// sorted by descending score. If fewer than k qualify, all are returned.
+// It is the brute-force reference semantics of the problem statement.
+func TopK(ps []P, x1, x2 float64, k int) []P {
+	if k <= 0 {
+		return nil
+	}
+	var in []P
+	for _, p := range ps {
+		if p.In(x1, x2) {
+			in = append(in, p)
+		}
+	}
+	SortByScoreDesc(in)
+	if k < len(in) {
+		in = in[:k]
+	}
+	return in
+}
+
+// WordSize is the storage footprint of one point in machine words
+// (two float64 fields).
+const WordSize = 2

@@ -1,0 +1,133 @@
+package point
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestLess(t *testing.T) {
+	cases := []struct {
+		a, b P
+		want bool
+	}{
+		{P{1, 5}, P{2, 3}, true},
+		{P{2, 3}, P{1, 5}, false},
+		{P{1, 3}, P{1, 5}, true},
+		{P{1, 5}, P{1, 3}, false},
+		{P{1, 5}, P{1, 5}, false},
+	}
+	for _, c := range cases {
+		if got := Less(c.a, c.b); got != c.want {
+			t.Errorf("Less(%v,%v)=%v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestIn(t *testing.T) {
+	p := P{X: 5}
+	for _, c := range []struct {
+		x1, x2 float64
+		want   bool
+	}{
+		{4, 6, true}, {5, 5, true}, {5, 6, true}, {4, 5, true},
+		{6, 7, false}, {1, 4.999, false}, {6, 4, false},
+	} {
+		if got := p.In(c.x1, c.x2); got != c.want {
+			t.Errorf("In(%v,%v)=%v", c.x1, c.x2, got)
+		}
+	}
+}
+
+func TestSorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := make([]P, 200)
+	for i := range ps {
+		ps[i] = P{X: rng.Float64(), Score: rng.Float64()}
+	}
+	SortByX(ps)
+	if !sort.SliceIsSorted(ps, func(i, j int) bool { return Less(ps[i], ps[j]) }) {
+		t.Fatal("SortByX")
+	}
+	SortByScoreDesc(ps)
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Score < ps[i].Score {
+			t.Fatal("SortByScoreDesc")
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ps := []P{{1, 10}, {2, 30}, {3, 20}, {4, 40}, {10, 99}}
+	got := TopK(ps, 1, 4, 2)
+	if len(got) != 2 || got[0] != (P{4, 40}) || got[1] != (P{2, 30}) {
+		t.Fatalf("TopK: %v", got)
+	}
+	if got := TopK(ps, 1, 4, 100); len(got) != 4 {
+		t.Fatalf("k beyond size: %v", got)
+	}
+	if got := TopK(ps, 1, 4, 0); got != nil {
+		t.Fatalf("k=0: %v", got)
+	}
+	if got := TopK(ps, 1, 4, -3); got != nil {
+		t.Fatalf("k<0: %v", got)
+	}
+	if got := TopK(ps, 5, 9, 3); len(got) != 0 {
+		t.Fatalf("empty range: %v", got)
+	}
+}
+
+// Property: TopK output is sorted descending, within range, of size
+// min(k, |in range|), and dominates every in-range point it excludes.
+func TestQuickTopK(t *testing.T) {
+	f := func(raw []uint32, kRaw uint8, loRaw, spanRaw uint16) bool {
+		ps := make([]P, len(raw))
+		for i, r := range raw {
+			ps[i] = P{X: float64(r % 1000), Score: float64(r) + float64(i)/1e6}
+		}
+		x1 := float64(loRaw % 1000)
+		x2 := x1 + float64(spanRaw%1000)
+		k := int(kRaw)%20 + 1
+		got := TopK(ps, x1, x2, k)
+		inRange := 0
+		minGot := 0.0
+		for i, p := range got {
+			if !p.In(x1, x2) {
+				return false
+			}
+			if i > 0 && got[i-1].Score < p.Score {
+				return false
+			}
+			minGot = p.Score
+		}
+		for _, p := range ps {
+			if p.In(x1, x2) {
+				inRange++
+			}
+		}
+		want := k
+		if inRange < k {
+			want = inRange
+		}
+		if len(got) != want {
+			return false
+		}
+		if len(got) == k {
+			// No excluded in-range point may beat the k-th.
+			seen := map[P]bool{}
+			for _, p := range got {
+				seen[p] = true
+			}
+			for _, p := range ps {
+				if p.In(x1, x2) && !seen[p] && p.Score > minGot {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+package pst
+
+import (
+	"math"
+
+	"repro/internal/em"
+	"repro/internal/heap"
+	"repro/internal/point"
+)
+
+// packVid encodes a vid as an int64 heap reference (tnode handles are
+// small integers; secondary trees have < 2^16 nodes for any sane branch
+// parameter).
+func packVid(v vid) int64 { return int64(v.t)<<16 | int64(v.idx) }
+
+func unpackVid(r int64) vid { return vid{em.Handle(r >> 16), int(r & 0xffff)} }
+
+// heapSrc exposes the forest of max-heaps H(v), v ∈ Π, as a heap.Source:
+// nodes are T̂ nodes with non-empty pilot sets, keyed by the
+// y-coordinate of their representative. The heap order holds because
+// pilot sets are layered by score along every root-to-leaf path.
+type heapSrc struct {
+	p     *PST
+	roots []vid
+}
+
+func (s *heapSrc) Roots() []heap.Entry {
+	var out []heap.Entry
+	for _, v := range s.roots {
+		nd := s.p.tstore.Read(v.t)
+		if nd.vs[v.idx].size > 0 {
+			out = append(out, heap.Entry{Ref: packVid(v), Key: nd.vs[v.idx].rep})
+		}
+	}
+	return out
+}
+
+func (s *heapSrc) Children(ref int64) []heap.Entry {
+	v := unpackVid(ref)
+	nd := s.p.tstore.Read(v.t)
+	var out []heap.Entry
+	for _, c := range s.p.vchildren(nd, v) {
+		var cm vmeta
+		if c.t == v.t {
+			cm = nd.vs[c.idx]
+		} else {
+			cm = s.p.tstore.Read(c.t).vs[c.idx]
+		}
+		if cm.size > 0 {
+			out = append(out, heap.Entry{Ref: packVid(c), Key: cm.rep})
+		}
+	}
+	return out
+}
+
+// pathTo returns the T̂ root-to-leaf path whose slabs contain x.
+func (p *PST) pathTo(x float64) []vid {
+	var path []vid
+	h := p.root
+	for {
+		nd := p.tstore.Read(h)
+		for _, idx := range descendVS(nd, x) {
+			path = append(path, vid{h, idx})
+		}
+		if nd.level == 0 {
+			return path
+		}
+		h = nd.kids[routeKid(nd, x)]
+	}
+}
+
+// Query returns the k highest-scoring points with x ∈ [x1, x2], sorted
+// by descending score (all of them if fewer than k qualify), in
+// O(lg n + k/B) I/Os — the §2 query algorithm:
+//
+//  1. descend the two paths π1, π2 and collect their pilot points (Q1);
+//  2. identify Π, the hanging children of π'1 ∪ π'2 (below the LCA)
+//     whose slabs are covered by q, and view their subtrees as
+//     score-ordered max-heaps keyed by pilot representatives;
+//  3. extract the φ·(lg n + k/B) largest representatives R (heap
+//     selection; Frederickson's bound realized as best-first search);
+//  4. gather the pilot sets of the selected nodes (Q2) and of their
+//     in-range siblings and children (Q3);
+//  5. report the k highest points of Q1 ∪ Q2 ∪ Q3 in q.
+//
+// Lemma 2 (φ = 16) guarantees Q1 ∪ Q2 ∪ Q3 contains the true top k.
+func (p *PST) Query(x1, x2 float64, k int) []point.P {
+	if p.root == em.NilHandle || k <= 0 || x1 > x2 {
+		return nil
+	}
+	path1 := p.pathTo(x1)
+	path2 := p.pathTo(x2)
+
+	onPath := make(map[vid]bool, len(path1)+len(path2))
+	for _, v := range path1 {
+		onPath[v] = true
+	}
+	for _, v := range path2 {
+		onPath[v] = true
+	}
+
+	seen := make(map[vid]bool)
+	var cands []point.P
+	collect := func(v vid) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		nd := p.tstore.Read(v.t)
+		for _, q := range p.readPilot(nd.vs[v.idx].pilot) {
+			if q.In(x1, x2) {
+				cands = append(cands, q)
+			}
+		}
+	}
+
+	// Q1: pilot points on π1 ∪ π2.
+	for v := range onPath {
+		collect(v)
+	}
+
+	// v* = LCA; π'1, π'2 = the portions below (and including) v*.
+	lca := 0
+	for lca < len(path1) && lca < len(path2) && path1[lca] == path2[lca] {
+		lca++
+	}
+	lca-- // last common index; ≥ 0 since both start at the root
+	prime := make(map[vid]bool)
+	for _, v := range path1[lca:] {
+		prime[v] = true
+	}
+	for _, v := range path2[lca:] {
+		prime[v] = true
+	}
+
+	// Π: children of π' nodes, off the paths, with slab ⊆ q.
+	covered := func(v vid) bool {
+		nd := p.tstore.Read(v.t)
+		lo, hi := slabOf(nd, v.idx)
+		return lo >= x1 && hi <= math.Nextafter(x2, math.Inf(1))
+	}
+	var pi []vid
+	for v := range prime {
+		nd := p.tstore.Read(v.t)
+		for _, c := range p.vchildren(nd, v) {
+			if !prime[c] && !onPath[c] && covered(c) {
+				pi = append(pi, c)
+			}
+		}
+	}
+
+	// Heap selection of the φ·(lg n + ⌈k/B⌉) largest representatives.
+	t := p.opt.Phi * (p.lgN() + (k+p.opt.PilotB-1)/p.opt.PilotB)
+	src := &heapSrc{p: p, roots: pi}
+	var selected []heap.Entry
+	if p.opt.Adaptive {
+		var complete bool
+		selected, complete = p.selectAdaptive(src, t, k, collect, &cands)
+		if complete {
+			// Early termination proved every unexplored subtree (and
+			// hence every would-be Q3 candidate) is dominated by the
+			// k-th best candidate already collected.
+			point.SortByScoreDesc(cands)
+			if k < len(cands) {
+				cands = cands[:k]
+			}
+			return cands
+		}
+	} else {
+		selected = heap.SelectTop(src, t)
+	}
+
+	// Q2: pilots of the selected nodes. Q3: pilots of their in-range
+	// siblings and of their children.
+	inSR := make(map[vid]bool, len(selected))
+	for _, e := range selected {
+		inSR[unpackVid(e.Ref)] = true
+	}
+	for _, e := range selected {
+		v := unpackVid(e.Ref)
+		collect(v)
+		nd := p.tstore.Read(v.t)
+		for _, c := range p.vchildren(nd, v) {
+			collect(c)
+		}
+		par := p.vparent(nd, v)
+		if par.valid() {
+			pn := p.tstore.Read(par.t)
+			for _, sib := range p.vchildren(pn, par) {
+				if sib != v && !inSR[sib] && covered(sib) {
+					collect(sib)
+				}
+			}
+		}
+	}
+
+	// Report the k highest candidates. The candidate pool has size
+	// O(B lg n + k); selecting within it is CPU work on blocks already
+	// read.
+	point.SortByScoreDesc(cands)
+	if k < len(cands) {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// selectAdaptive is heap.SelectTop with the early-termination rule of
+// Options.Adaptive. Each selected node's pilot is collected immediately
+// through collect (so the pilot read is never repeated), and selection
+// stops once the k-th best in-range candidate dominates the upper bound
+// of every unexplored subtree — a frontier node's subtree scores never
+// exceed its parent's representative, since the parent's pilot holds the
+// highest remaining points. complete=true certifies that no Q3 gathering
+// is needed: every would-be Q3 node sits in (or below) the frontier.
+func (p *PST) selectAdaptive(src *heapSrc, t, k int, collect func(vid), cands *[]point.P) (out []heap.Entry, complete bool) {
+	type fe struct {
+		e     heap.Entry
+		bound float64 // upper bound on every score in the subtree
+	}
+	var frontier []fe
+	for _, e := range src.Roots() {
+		// Π roots are bounded only by path pilots (already in Q1).
+		frontier = append(frontier, fe{e, math.Inf(1)})
+	}
+	kth := func() float64 {
+		if len(*cands) < k {
+			return math.Inf(-1)
+		}
+		tmp := append([]point.P(nil), *cands...)
+		point.SortByScoreDesc(tmp)
+		return tmp[k-1].Score
+	}
+	for len(out) < t && len(frontier) > 0 {
+		bi := 0
+		for i := range frontier {
+			if frontier[i].e.Key > frontier[bi].e.Key {
+				bi = i
+			}
+		}
+		top := frontier[bi]
+		frontier = append(frontier[:bi], frontier[bi+1:]...)
+		out = append(out, top.e)
+		v := unpackVid(top.e.Ref)
+		collect(v)
+		rep := p.tstore.Read(v.t).vs[v.idx].rep
+		for _, c := range src.Children(top.e.Ref) {
+			frontier = append(frontier, fe{c, rep})
+		}
+		if len(*cands) >= k {
+			cut := kth()
+			maxBound := math.Inf(-1)
+			for _, f := range frontier {
+				if f.bound > maxBound {
+					maxBound = f.bound
+				}
+			}
+			if cut >= maxBound {
+				return out, true
+			}
+		}
+	}
+	return out, len(frontier) == 0
+}
+
+// QueryAll is Query with k = n (report everything in range; test helper).
+func (p *PST) QueryAll(x1, x2 float64) []point.P { return p.Query(x1, x2, p.n) }
+
+// Report3Sided returns every point p with p.X ∈ [x1, x2] and
+// score(p) ≥ tau (unsorted). This is the three-sided reporting query the
+// reduction of §3.3 needs: given the threshold produced by approximate
+// range k-selection, report the Θ(k) qualifying points and select the
+// top k among them for free.
+//
+// The traversal prunes by the pilot layering: a node whose representative
+// (= minimum pilot score) is below tau cannot have qualifying points in
+// its subtree beyond its own pilot, so recursion stops there. Interior
+// visits are therefore paid for by output (Ω(B/2) qualifying points per
+// fully-qualified pilot) plus the two boundary paths.
+func (p *PST) Report3Sided(x1, x2, tau float64) []point.P {
+	if p.root == em.NilHandle || x1 > x2 {
+		return nil
+	}
+	var out []point.P
+	var visit func(v vid)
+	visit = func(v vid) {
+		nd := p.tstore.Read(v.t)
+		m := nd.vs[v.idx]
+		lo, hi := slabOf(nd, v.idx)
+		if hi <= x1 || lo > x2 || m.size == 0 {
+			return
+		}
+		for _, q := range p.readPilot(m.pilot) {
+			if q.In(x1, x2) && q.Score >= tau {
+				out = append(out, q)
+			}
+		}
+		if m.rep >= tau {
+			for _, c := range p.vchildren(nd, v) {
+				visit(c)
+			}
+		}
+	}
+	visit(vid{p.root, 0})
+	return out
+}

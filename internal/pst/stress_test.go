@@ -1,0 +1,205 @@
+package pst
+
+// Stress and adversarial-pattern tests: insertion orders and query
+// shapes that maximize rebalancing, push-down cascades and pull-up
+// chains, plus degenerate query geometry.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/point"
+)
+
+func TestSortedAscendingInserts(t *testing.T) {
+	// Monotone x keeps splitting the rightmost leaf: the WBB rebuild
+	// path runs constantly.
+	p := New(newDisk(8), Options{TrackTokens: true})
+	var pts []point.P
+	for i := 0; i < 1500; i++ {
+		q := point.P{X: float64(i), Score: float64((i * 7919) % 100000)}
+		pts = append(pts, q)
+		p.Insert(q)
+		if i%211 == 0 {
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("at %d: %v", i, err)
+			}
+		}
+	}
+	if !sameSet(p.QueryAll(math.Inf(-1), math.Inf(1)), pts) {
+		t.Fatal("live set diverged")
+	}
+}
+
+func TestSortedDescendingInserts(t *testing.T) {
+	p := New(newDisk(8), Options{TrackTokens: true})
+	for i := 0; i < 1200; i++ {
+		p.Insert(point.P{X: float64(-i), Score: float64((i * 104729) % 100000)})
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneScoresAscending(t *testing.T) {
+	// Every new point outranks all previous ones: it lands at the top of
+	// its path and push-downs cascade maximally.
+	p := New(newDisk(8), Options{TrackTokens: true})
+	rng := rand.New(rand.NewSource(31))
+	var pts []point.P
+	for i := 0; i < 1200; i++ {
+		q := point.P{X: rng.Float64() * 1e6, Score: float64(i)}
+		pts = append(pts, q)
+		p.Insert(q)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Query(0, 1e6, 10)
+	want := point.TopK(pts, 0, 1e6, 10)
+	if !sameSet(got, want) {
+		t.Fatal("query after monotone-score stream")
+	}
+}
+
+func TestDeleteHighestRepeatedly(t *testing.T) {
+	// Always deleting the current maximum drains pilot sets top-down:
+	// the pull-up machinery runs on every operation.
+	pts := genPoints(800, 32)
+	p := Bulk(newDisk(8), Options{TrackTokens: true}, pts)
+	point.SortByScoreDesc(pts)
+	for i, q := range pts {
+		if !p.Delete(q) {
+			t.Fatalf("delete #%d failed", i)
+		}
+		if i%97 == 0 {
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletions: %v", i+1, err)
+			}
+		}
+	}
+	if p.Len() != 0 {
+		t.Fatalf("len=%d", p.Len())
+	}
+}
+
+func TestDeleteLowestRepeatedly(t *testing.T) {
+	pts := genPoints(800, 33)
+	p := Bulk(newDisk(8), Options{TrackTokens: true}, pts)
+	point.SortByScoreDesc(pts)
+	for i := len(pts) - 1; i >= 0; i-- {
+		if !p.Delete(pts[i]) {
+			t.Fatalf("delete failed")
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlternatingInsertDeleteSamePoints(t *testing.T) {
+	// Re-inserting the same points exercises stale x-coordinates in the
+	// base tree (deletions leave them behind by design).
+	pts := genPoints(300, 34)
+	p := Bulk(newDisk(8), Options{TrackTokens: true}, pts)
+	for round := 0; round < 6; round++ {
+		for _, q := range pts {
+			if !p.Delete(q) {
+				t.Fatalf("round %d: delete failed", round)
+			}
+		}
+		for _, q := range pts {
+			p.Insert(q)
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(p.QueryAll(math.Inf(-1), math.Inf(1)), pts) {
+		t.Fatal("set diverged after churn rounds")
+	}
+}
+
+func TestPointQueries(t *testing.T) {
+	// Degenerate ranges [x, x] must return exactly the point at x.
+	pts := genPoints(500, 35)
+	p := Bulk(newDisk(8), Options{}, pts)
+	for _, q := range pts[:100] {
+		got := p.Query(q.X, q.X, 3)
+		if len(got) != 1 || got[0] != q {
+			t.Fatalf("point query at %v: %v", q.X, got)
+		}
+	}
+}
+
+func TestHugeKOnSmallRange(t *testing.T) {
+	pts := genPoints(400, 36)
+	p := Bulk(newDisk(8), Options{}, pts)
+	got := p.Query(0, 100, 1<<20)
+	want := point.TopK(pts, 0, 100, 1<<20)
+	if !sameSet(got, want) {
+		t.Fatalf("huge k: %d vs %d", len(got), len(want))
+	}
+}
+
+func TestSingletonStructure(t *testing.T) {
+	p := New(newDisk(8), Options{TrackTokens: true})
+	q := point.P{X: 5, Score: 7}
+	p.Insert(q)
+	if got := p.Query(0, 10, 1); len(got) != 1 || got[0] != q {
+		t.Fatalf("singleton query: %v", got)
+	}
+	if !p.Delete(q) {
+		t.Fatal("singleton delete")
+	}
+	if p.Len() != 0 {
+		t.Fatal("len")
+	}
+	p.Insert(q) // reuse after drain
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusteredXWithUniformScores(t *testing.T) {
+	// Tight x-clusters force deep, narrow subtrees.
+	rng := rand.New(rand.NewSource(37))
+	p := New(newDisk(8), Options{TrackTokens: true})
+	var pts []point.P
+	for c := 0; c < 5; c++ {
+		center := float64(c) * 1e6
+		for i := 0; i < 200; i++ {
+			q := point.P{X: center + rng.Float64(), Score: rng.Float64() * 1e6}
+			pts = append(pts, q)
+			p.Insert(q)
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Query exactly one cluster.
+	got := p.Query(2e6, 2e6+1, 20)
+	want := point.TopK(pts, 2e6, 2e6+1, 20)
+	if !sameSet(got, want) {
+		t.Fatal("cluster query mismatch")
+	}
+	// Query the gap between clusters.
+	if got := p.Query(2e6+2, 3e6-2, 20); len(got) != 0 {
+		t.Fatalf("gap query returned %d", len(got))
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	// Degenerate options are clamped, not crashed on.
+	p := New(newDisk(8), Options{PilotB: 1, Branch: 1, Phi: -3})
+	for i := 0; i < 100; i++ {
+		p.Insert(point.P{X: float64(i), Score: float64(i * 31 % 100)})
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Phi() != 16 {
+		t.Fatalf("phi=%d", p.Phi())
+	}
+}

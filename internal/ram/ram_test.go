@@ -1,0 +1,236 @@
+package ram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/point"
+)
+
+func genPoints(n int, seed int64) []point.P {
+	rng := rand.New(rand.NewSource(seed))
+	xs := rng.Perm(n * 4)
+	scores := rng.Perm(n * 4)
+	pts := make([]point.P, n)
+	for i := 0; i < n; i++ {
+		pts[i] = point.P{X: float64(xs[i]), Score: float64(scores[i])}
+	}
+	return pts
+}
+
+func sameSet(a, b []point.P) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[point.P]int{}
+	for _, p := range a {
+		m[p]++
+	}
+	for _, p := range b {
+		if m[p]--; m[p] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmpty(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Fatal("len")
+	}
+	if got := tr.Query(0, 10, 5); got != nil {
+		t.Fatalf("query: %v", got)
+	}
+	if tr.Delete(point.P{X: 1, Score: 1}) {
+		t.Fatal("phantom delete")
+	}
+}
+
+func TestBulkQuery(t *testing.T) {
+	pts := genPoints(2000, 1)
+	tr := Bulk(pts)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		x1 := rng.Float64() * 8000
+		x2 := x1 + rng.Float64()*4000
+		k := rng.Intn(60) + 1
+		got := tr.Query(x1, x2, k)
+		want := point.TopK(pts, x1, x2, k)
+		if !sameSet(got, want) {
+			t.Fatalf("query %d: got %d want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestIncrementalInsert(t *testing.T) {
+	pts := genPoints(1500, 3)
+	var tr Tree
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	if tr.Len() != 1500 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		x1 := rng.Float64() * 6000
+		x2 := x1 + rng.Float64()*3000
+		k := rng.Intn(40) + 1
+		if !sameSet(tr.Query(x1, x2, k), point.TopK(pts, x1, x2, k)) {
+			t.Fatalf("query %d mismatch", i)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	pts := genPoints(1000, 5)
+	tr := Bulk(pts)
+	var live []point.P
+	for i, p := range pts {
+		if i%3 == 0 {
+			if !tr.Delete(p) {
+				t.Fatalf("delete %v", p)
+			}
+		} else {
+			live = append(live, p)
+		}
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		x1 := rng.Float64() * 4000
+		x2 := x1 + rng.Float64()*2500
+		k := rng.Intn(30) + 1
+		if !sameSet(tr.Query(x1, x2, k), point.TopK(live, x1, x2, k)) {
+			t.Fatalf("query %d mismatch", i)
+		}
+	}
+}
+
+func TestQuerySortedDesc(t *testing.T) {
+	tr := Bulk(genPoints(300, 7))
+	got := tr.Query(0, 1200, 50)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Score < got[i].Score {
+			t.Fatal("not descending")
+		}
+	}
+}
+
+func TestComparisonsLogarithmicPlusK(t *testing.T) {
+	pts := genPoints(100000, 8)
+	tr := Bulk(pts)
+	cost := func(k int) int64 {
+		tr.Comparisons = 0
+		rng := rand.New(rand.NewSource(int64(k)))
+		const reps = 50
+		for i := 0; i < reps; i++ {
+			x1 := rng.Float64() * 2e5
+			tr.Query(x1, x1+2e5, k)
+		}
+		return tr.Comparisons / reps
+	}
+	c1, c64 := cost(1), cost(64)
+	// O(lg n + k): going from k=1 to k=64 should add O(k) work, far less
+	// than 64×.
+	if c64 > 40*c1+3000 {
+		t.Fatalf("cost grew too fast: k=1 → %d, k=64 → %d", c1, c64)
+	}
+	t.Logf("comparisons: k=1 → %d, k=64 → %d", c1, c64)
+}
+
+func TestMixedChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var tr Tree
+	var live []point.P
+	usedX := map[float64]bool{}
+	for op := 0; op < 4000; op++ {
+		if rng.Intn(3) > 0 || len(live) == 0 {
+			p := point.P{X: rng.Float64() * 1e5, Score: rng.Float64() * 1e6}
+			if usedX[p.X] {
+				continue
+			}
+			usedX[p.X] = true
+			live = append(live, p)
+			tr.Insert(p)
+		} else {
+			j := rng.Intn(len(live))
+			p := live[j]
+			live = append(live[:j], live[j+1:]...)
+			delete(usedX, p.X)
+			if !tr.Delete(p) {
+				t.Fatalf("op %d delete failed", op)
+			}
+		}
+		if op%200 == 100 {
+			x1 := rng.Float64() * 1e5
+			x2 := x1 + rng.Float64()*4e4
+			k := rng.Intn(20) + 1
+			if !sameSet(tr.Query(x1, x2, k), point.TopK(live, x1, x2, k)) {
+				t.Fatalf("op %d query mismatch", op)
+			}
+		}
+	}
+}
+
+func TestQuickModel(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		if len(ops) > 200 {
+			ops = ops[:200]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tree
+		var live []point.P
+		usedX := map[float64]bool{}
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				p := point.P{X: float64(op) + rng.Float64(), Score: rng.Float64() * 1e6}
+				if usedX[p.X] {
+					continue
+				}
+				usedX[p.X] = true
+				live = append(live, p)
+				tr.Insert(p)
+			} else {
+				j := int(op/3) % len(live)
+				p := live[j]
+				live = append(live[:j], live[j+1:]...)
+				delete(usedX, p.X)
+				if !tr.Delete(p) {
+					return false
+				}
+			}
+		}
+		abs := seed
+		if abs < 0 {
+			abs = -abs
+		}
+		x1 := float64(abs % 30000)
+		x2 := x1 + 20000
+		k := int(abs%9) + 1
+		return sameSet(tr.Query(x1, x2, k), point.TopK(live, x1, x2, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRAMInsert(b *testing.B) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(point.P{X: rng.Float64() * 1e9, Score: rng.Float64()})
+	}
+}
+
+func BenchmarkRAMQueryK64(b *testing.B) {
+	tr := Bulk(genPoints(200000, 1))
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x1 := rng.Float64() * 4e5
+		tr.Query(x1, x1+2e5, 64)
+	}
+}

@@ -1,0 +1,294 @@
+package shengtao
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/em"
+	"repro/internal/point"
+)
+
+func newDisk(b int) *em.Disk { return em.NewDisk(em.Config{B: b, M: 64 * b}) }
+
+func genPoints(n int, seed int64) []point.P {
+	rng := rand.New(rand.NewSource(seed))
+	xs := rng.Perm(n * 4)
+	scores := rng.Perm(n * 4)
+	pts := make([]point.P, n)
+	for i := 0; i < n; i++ {
+		pts[i] = point.P{X: float64(xs[i]), Score: float64(scores[i])}
+	}
+	return pts
+}
+
+func sameSet(a, b []point.P) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[point.P]int{}
+	for _, p := range a {
+		m[p]++
+	}
+	for _, p := range b {
+		if m[p]--; m[p] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New(newDisk(16), Options{})
+	if tr.Len() != 0 {
+		t.Fatal("not empty")
+	}
+	if got := tr.Query(0, 10, 3); got != nil {
+		t.Fatalf("query: %v", got)
+	}
+	if tr.Delete(point.P{X: 1, Score: 2}) {
+		t.Fatal("phantom delete")
+	}
+	if _, ok := tr.SelectApprox(0, 10, 1); ok {
+		t.Fatal("select on empty")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertQueryMatchesBrute(t *testing.T) {
+	pts := genPoints(1500, 1)
+	tr := Bulk(newDisk(16), Options{K: 64}, pts)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		x1 := rng.Float64() * 6000
+		x2 := x1 + rng.Float64()*3000
+		k := rng.Intn(64) + 1
+		got := tr.Query(x1, x2, k)
+		want := point.TopK(pts, x1, x2, k)
+		if !sameSet(got, want) {
+			t.Fatalf("query %d: got %d want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestSelectApproxExactRank(t *testing.T) {
+	pts := genPoints(800, 3)
+	tr := Bulk(newDisk(16), Options{K: 50}, pts)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 150; i++ {
+		x1 := rng.Float64() * 3000
+		x2 := x1 + rng.Float64()*2000
+		k := rng.Intn(50) + 1
+		got, ok := tr.SelectApprox(x1, x2, k)
+		want := point.TopK(pts, x1, x2, k)
+		if !ok {
+			if len(want) >= k {
+				t.Fatalf("select failed with %d in range", len(want))
+			}
+			continue
+		}
+		if got != want[len(want)-1] || len(want) != k {
+			t.Fatalf("select k=%d got %v want %v", k, got, want[len(want)-1])
+		}
+	}
+}
+
+func TestDeleteAndRefill(t *testing.T) {
+	pts := genPoints(900, 5)
+	tr := Bulk(newDisk(16), Options{K: 32}, pts)
+	var live []point.P
+	for i, p := range pts {
+		if i%2 == 0 {
+			if !tr.Delete(p) {
+				t.Fatalf("delete %v", p)
+			}
+		} else {
+			live = append(live, p)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		x1 := rng.Float64() * 3600
+		x2 := x1 + rng.Float64()*2000
+		k := rng.Intn(32) + 1
+		if !sameSet(tr.Query(x1, x2, k), point.TopK(live, x1, x2, k)) {
+			t.Fatalf("post-delete query %d mismatch", i)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	pts := genPoints(700, 7)
+	tr := Bulk(newDisk(16), Options{}, pts)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		x1 := rng.Float64() * 2800
+		x2 := x1 + rng.Float64()*1500
+		want := 0
+		for _, p := range pts {
+			if p.In(x1, x2) {
+				want++
+			}
+		}
+		if got := tr.Count(x1, x2); got != want {
+			t.Fatalf("count [%v,%v]=%d want %d", x1, x2, got, want)
+		}
+	}
+}
+
+func TestKTooLargePanics(t *testing.T) {
+	tr := Bulk(newDisk(16), Options{K: 8}, genPoints(50, 9))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > K accepted")
+		}
+	}()
+	tr.Query(0, 1000, 9)
+}
+
+func TestDuplicateXPanics(t *testing.T) {
+	tr := New(newDisk(16), Options{})
+	tr.Insert(point.P{X: 3, Score: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate accepted")
+		}
+	}()
+	tr.Insert(point.P{X: 3, Score: 2})
+}
+
+func TestUpdateCostGrowsWithK(t *testing.T) {
+	// The baseline's defining property (E2): update cost scales with the
+	// list capacity K, unlike Theorem 1's structure.
+	cost := func(k int) float64 {
+		d := em.NewDisk(em.Config{B: 32, M: 16 * 32})
+		tr := New(d, Options{K: k})
+		pts := genPoints(2000, 10)
+		for _, p := range pts[:1000] {
+			tr.Insert(p)
+		}
+		d.DropCache()
+		base := d.Stats()
+		for _, p := range pts[1000:] {
+			tr.Insert(p)
+		}
+		return float64(d.Stats().Sub(base).IOs()) / 1000
+	}
+	small, large := cost(8), cost(256)
+	if large < 1.5*small {
+		t.Fatalf("update cost did not grow with K: %.1f vs %.1f", small, large)
+	}
+	t.Logf("amortized insert: K=8 → %.1f I/Os, K=256 → %.1f I/Os", small, large)
+}
+
+func TestMixedChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := New(newDisk(16), Options{K: 24})
+	var live []point.P
+	usedX := map[float64]bool{}
+	for op := 0; op < 2500; op++ {
+		if rng.Intn(3) > 0 || len(live) == 0 {
+			p := point.P{X: rng.Float64() * 1e4, Score: rng.Float64() * 1e6}
+			if usedX[p.X] {
+				continue
+			}
+			usedX[p.X] = true
+			live = append(live, p)
+			tr.Insert(p)
+		} else {
+			j := rng.Intn(len(live))
+			p := live[j]
+			live = append(live[:j], live[j+1:]...)
+			delete(usedX, p.X)
+			tr.Delete(p)
+		}
+		if op%333 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+		if op%100 == 50 {
+			x1 := rng.Float64() * 1e4
+			x2 := x1 + rng.Float64()*4e3
+			k := rng.Intn(24) + 1
+			if !sameSet(tr.Query(x1, x2, k), point.TopK(live, x1, x2, k)) {
+				t.Fatalf("op %d query mismatch", op)
+			}
+		}
+	}
+}
+
+// Property: model equivalence under arbitrary interleavings.
+func TestQuickModel(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		if len(ops) > 120 {
+			ops = ops[:120]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(newDisk(8), Options{K: 16, Fanout: 4, LeafCap: 6})
+		var live []point.P
+		usedX := map[float64]bool{}
+		for _, op := range ops {
+			if op%3 != 0 || len(live) == 0 {
+				p := point.P{X: float64(op) + rng.Float64(), Score: rng.Float64() * 1e6}
+				if usedX[p.X] {
+					continue
+				}
+				usedX[p.X] = true
+				live = append(live, p)
+				tr.Insert(p)
+			} else {
+				j := int(op/3) % len(live)
+				p := live[j]
+				live = append(live[:j], live[j+1:]...)
+				delete(usedX, p.X)
+				if !tr.Delete(p) {
+					return false
+				}
+			}
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		abs := seed
+		if abs < 0 {
+			abs = -abs
+		}
+		x1 := float64(abs % 30000)
+		x2 := x1 + 20000
+		k := int(abs%16) + 1
+		return sameSet(tr.Query(x1, x2, k), point.TopK(live, x1, x2, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBaselineInsert(b *testing.B) {
+	d := em.NewDisk(em.Config{B: 64, M: 64 * 64})
+	tr := New(d, Options{K: 64})
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(point.P{X: rng.Float64() * 1e9, Score: rng.Float64()})
+	}
+}
+
+func BenchmarkBaselineQuery(b *testing.B) {
+	d := em.NewDisk(em.Config{B: 64, M: 64 * 64})
+	tr := Bulk(d, Options{K: 64}, genPoints(20000, 1))
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x1 := rng.Float64() * 4e4
+		tr.Query(x1, x1+1e4, 32)
+	}
+}

@@ -1,0 +1,116 @@
+// Package verify provides the brute-force reference oracle and shared
+// assertion helpers used by integration tests and the experiment
+// harness to validate every structure against first principles.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/point"
+)
+
+// Oracle is a plain-slice reference implementation of dynamic top-k
+// range reporting.
+type Oracle struct {
+	pts []point.P
+}
+
+// NewOracle returns an oracle seeded with pts.
+func NewOracle(pts []point.P) *Oracle {
+	return &Oracle{pts: append([]point.P(nil), pts...)}
+}
+
+// Len returns the live size.
+func (o *Oracle) Len() int { return len(o.pts) }
+
+// Insert adds p.
+func (o *Oracle) Insert(p point.P) { o.pts = append(o.pts, p) }
+
+// Delete removes p, reporting presence.
+func (o *Oracle) Delete(p point.P) bool {
+	for i, q := range o.pts {
+		if q == p {
+			o.pts = append(o.pts[:i], o.pts[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// TopK answers a query by scan + sort.
+func (o *Oracle) TopK(x1, x2 float64, k int) []point.P {
+	return point.TopK(o.pts, x1, x2, k)
+}
+
+// Count returns |S ∩ [x1,x2]|.
+func (o *Oracle) Count(x1, x2 float64) int {
+	n := 0
+	for _, p := range o.pts {
+		if p.In(x1, x2) {
+			n++
+		}
+	}
+	return n
+}
+
+// RankOf returns |{p ∈ S∩q : score(p) ≥ tau}|.
+func (o *Oracle) RankOf(x1, x2, tau float64) int {
+	n := 0
+	for _, p := range o.pts {
+		if p.In(x1, x2) && p.Score >= tau {
+			n++
+		}
+	}
+	return n
+}
+
+// Live returns a copy of the live set.
+func (o *Oracle) Live() []point.P { return append([]point.P(nil), o.pts...) }
+
+// SameSet reports whether a and b contain the same multiset of points.
+func SameSet(a, b []point.P) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[point.P]int, len(a))
+	for _, p := range a {
+		m[p]++
+	}
+	for _, p := range b {
+		if m[p]--; m[p] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedDesc reports whether pts is sorted by non-increasing score.
+func SortedDesc(pts []point.P) bool {
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].Score < pts[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffTopK explains the first discrepancy between a structure's answer
+// and the oracle's, or returns nil when they agree as sets.
+func DiffTopK(got, want []point.P) error {
+	if SameSet(got, want) {
+		return nil
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("size mismatch: got %d, want %d", len(got), len(want))
+	}
+	m := map[point.P]bool{}
+	for _, p := range want {
+		m[p] = true
+	}
+	for _, p := range got {
+		if !m[p] {
+			return fmt.Errorf("unexpected point %+v in answer", p)
+		}
+	}
+	return fmt.Errorf("answer misses expected points")
+}

@@ -1,0 +1,81 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/point"
+)
+
+func TestOracleLifecycle(t *testing.T) {
+	o := NewOracle([]point.P{{X: 1, Score: 10}, {X: 2, Score: 20}})
+	if o.Len() != 2 {
+		t.Fatal("len")
+	}
+	o.Insert(point.P{X: 3, Score: 30})
+	if !o.Delete(point.P{X: 1, Score: 10}) {
+		t.Fatal("delete")
+	}
+	if o.Delete(point.P{X: 1, Score: 10}) {
+		t.Fatal("double delete")
+	}
+	got := o.TopK(0, 10, 5)
+	if len(got) != 2 || got[0].Score != 30 || got[1].Score != 20 {
+		t.Fatalf("topk: %v", got)
+	}
+	if o.Count(0, 10) != 2 || o.Count(2.5, 10) != 1 {
+		t.Fatal("count")
+	}
+	if o.RankOf(0, 10, 20) != 2 || o.RankOf(0, 10, 25) != 1 {
+		t.Fatal("rank")
+	}
+	live := o.Live()
+	live[0] = point.P{X: -1, Score: -1} // must be a copy
+	if o.Count(-2, 0) != 0 {
+		t.Fatal("Live leaked internal slice")
+	}
+}
+
+func TestSameSet(t *testing.T) {
+	a := []point.P{{X: 1, Score: 1}, {X: 2, Score: 2}, {X: 3, Score: 3}}
+	b := []point.P{{X: 3, Score: 3}, {X: 1, Score: 1}, {X: 2, Score: 2}}
+	if !SameSet(a, b) {
+		t.Fatal("permutation rejected")
+	}
+	if SameSet(a, b[:2]) {
+		t.Fatal("size mismatch accepted")
+	}
+	c := []point.P{{X: 1, Score: 1}, {X: 2, Score: 2}, {X: 4, Score: 4}}
+	if SameSet(a, c) {
+		t.Fatal("different set accepted")
+	}
+	dup1 := []point.P{{X: 1, Score: 1}, {X: 1, Score: 1}}
+	dup2 := []point.P{{X: 1, Score: 1}, {X: 2, Score: 2}}
+	if SameSet(dup1, dup2) {
+		t.Fatal("multiset multiplicity ignored")
+	}
+}
+
+func TestSortedDesc(t *testing.T) {
+	if !SortedDesc([]point.P{{X: 1, Score: 3}, {X: 2, Score: 2}, {X: 3, Score: 2}, {X: 4, Score: 1}}) {
+		t.Fatal("sorted rejected")
+	}
+	if SortedDesc([]point.P{{X: 1, Score: 1}, {X: 2, Score: 2}}) {
+		t.Fatal("ascending accepted")
+	}
+	if !SortedDesc(nil) {
+		t.Fatal("empty rejected")
+	}
+}
+
+func TestDiffTopK(t *testing.T) {
+	a := []point.P{{X: 1, Score: 1}, {X: 2, Score: 2}}
+	if err := DiffTopK(a, []point.P{{X: 2, Score: 2}, {X: 1, Score: 1}}); err != nil {
+		t.Fatalf("equal sets: %v", err)
+	}
+	if err := DiffTopK(a, a[:1]); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if err := DiffTopK([]point.P{{X: 1, Score: 1}, {X: 9, Score: 9}}, a); err == nil {
+		t.Fatal("wrong point accepted")
+	}
+}

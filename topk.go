@@ -1,0 +1,181 @@
+// Package topk is a dynamic, I/O-efficient index for one-dimensional
+// top-k range reporting, reproducing Yufei Tao's PODS 2014 paper
+// "A Dynamic I/O-Efficient Structure for One-Dimensional Top-k Range
+// Reporting" (arXiv:1208.4516).
+//
+// The problem: maintain a set S of n points on the real line, each with
+// a distinct score, under insertions and deletions, so that a query
+// (q = [x1,x2], k) returns the k points of S ∩ q with the highest
+// scores. In the external-memory model (block size B words), the index
+// achieves the paper's Theorem 1 bounds:
+//
+//	space   O(n/B) blocks
+//	query   O(log_B n + k/B) I/Os
+//	update  O(log_B n) amortized I/Os
+//
+// improving on the O(log²_B n) updates of the prior state of the art.
+//
+// Usage:
+//
+//	idx := topk.New(topk.Config{})
+//	idx.Insert(142.50, 9.1) // e.g. price, rating
+//	idx.Insert(99.99, 8.4)
+//	best := idx.TopK(100, 200, 10) // ten best-rated in [100,200]
+//
+// The disk is simulated (DESIGN.md, substitution 1): I/Os are counted
+// through an LRU buffer pool exactly as the Aggarwal–Vitter model
+// prescribes, and Stats exposes the meter so applications and the
+// experiment harness can observe block transfers directly.
+package topk
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/em"
+	"repro/internal/point"
+	"repro/internal/pst"
+)
+
+// Config configures an Index. The zero value follows the paper's
+// defaults on a 64-word-block simulated disk.
+type Config struct {
+	// BlockWords is B, the block size in words (default 64).
+	BlockWords int
+	// MemoryWords is M, the buffer-pool memory in words (default 16·B).
+	MemoryWords int
+	// Phi is the §2 query constant φ (default 16, the value Lemma 2
+	// proves correct; exposed for the E4 ablation).
+	Phi int
+	// ForcePolylog / ForceBaseline pin the small-k component instead of
+	// the paper's automatic B-vs-lg⁶n regime test. At most one may be
+	// set.
+	ForcePolylog  bool
+	ForceBaseline bool
+	// PolylogF and PolylogLeafCap shrink the §3.3 tree shape for small
+	// inputs (0 = the paper's f = √(B·lg n), b = f·l·B, which keep the
+	// tree a single leaf until n is very large).
+	PolylogF       int
+	PolylogLeafCap int
+}
+
+// Result is one reported point.
+type Result struct {
+	X     float64
+	Score float64
+}
+
+// Index is a dynamic top-k range reporting index. Create with New; an
+// Index is not safe for concurrent use (the EM model is sequential).
+type Index struct {
+	disk *em.Disk
+	ix   *core.Index
+}
+
+// New returns an empty Index.
+func New(cfg Config) *Index {
+	if cfg.ForcePolylog && cfg.ForceBaseline {
+		panic("topk: ForcePolylog and ForceBaseline are mutually exclusive")
+	}
+	d := em.NewDisk(em.Config{B: cfg.BlockWords, M: cfg.MemoryWords})
+	return &Index{disk: d, ix: core.New(d, coreOptions(cfg))}
+}
+
+// Load returns an Index bulk-loaded with the given points.
+func Load(cfg Config, pts []Result) *Index {
+	if cfg.ForcePolylog && cfg.ForceBaseline {
+		panic("topk: ForcePolylog and ForceBaseline are mutually exclusive")
+	}
+	d := em.NewDisk(em.Config{B: cfg.BlockWords, M: cfg.MemoryWords})
+	ps := make([]point.P, len(pts))
+	for i, r := range pts {
+		ps[i] = point.P{X: r.X, Score: r.Score}
+	}
+	return &Index{disk: d, ix: core.Bulk(d, coreOptions(cfg), ps)}
+}
+
+func coreOptions(cfg Config) core.Options {
+	opt := core.Options{
+		PST:            pst.Options{Phi: cfg.Phi},
+		PolylogF:       cfg.PolylogF,
+		PolylogLeafCap: cfg.PolylogLeafCap,
+	}
+	if cfg.ForcePolylog {
+		opt.Regime = core.RegimePolylog
+	}
+	if cfg.ForceBaseline {
+		opt.Regime = core.RegimeBaseline
+	}
+	return opt
+}
+
+// Len returns the number of points currently stored.
+func (x *Index) Len() int { return x.ix.Len() }
+
+// Insert adds the point (pos, score). Positions and scores must be
+// distinct across the live set (the paper's standing assumption; see
+// §1 footnote 1 for the standard reductions when they are not).
+func (x *Index) Insert(pos, score float64) {
+	x.ix.Insert(point.P{X: pos, Score: score})
+}
+
+// Delete removes the point (pos, score), reporting whether it was
+// present.
+func (x *Index) Delete(pos, score float64) bool {
+	return x.ix.Delete(point.P{X: pos, Score: score})
+}
+
+// TopK returns the k highest-scoring points with position in [x1, x2],
+// in descending score order; if fewer than k qualify, all are returned.
+func (x *Index) TopK(x1, x2 float64, k int) []Result {
+	pts := x.ix.Query(x1, x2, k)
+	out := make([]Result, len(pts))
+	for i, p := range pts {
+		out[i] = Result{X: p.X, Score: p.Score}
+	}
+	return out
+}
+
+// Count returns the number of stored points with position in [x1, x2].
+func (x *Index) Count(x1, x2 float64) int { return x.ix.Count(x1, x2) }
+
+// Stats is a snapshot of the simulated disk's I/O meter.
+type Stats struct {
+	// Reads and Writes count block transfers.
+	Reads, Writes int64
+	// BlocksLive is the current disk footprint in blocks.
+	BlocksLive int64
+	// BlocksPeak is the footprint high-water mark.
+	BlocksPeak int64
+}
+
+// Stats returns the current I/O meter.
+func (x *Index) Stats() Stats {
+	s := x.disk.Stats()
+	return Stats{Reads: s.Reads, Writes: s.Writes, BlocksLive: s.BlocksLive, BlocksPeak: s.BlocksPeak}
+}
+
+// ResetStats zeroes the read/write counters (space gauges are kept), so
+// callers can meter individual phases.
+func (x *Index) ResetStats() { x.disk.ResetMeter() }
+
+// DropCache evicts the buffer pool so the next operations run cold —
+// useful when measuring worst-case query I/Os.
+func (x *Index) DropCache() { x.disk.DropCache() }
+
+// BlockSize returns B in words.
+func (x *Index) BlockSize() int { return x.disk.B() }
+
+// KThreshold returns the k value at which queries switch from the
+// small-k machinery (§3.3 / [14]) to the §2 priority search tree
+// (B·lg n, per §1.2).
+func (x *Index) KThreshold() int { return x.ix.KThreshold() }
+
+// Regime describes which small-k component is active ("polylog(§3.3)"
+// or "baseline[14]").
+func (x *Index) Regime() string { return x.ix.CurrentRegime().String() }
+
+// String summarizes the index.
+func (x *Index) String() string {
+	return fmt.Sprintf("topk.Index{n=%d, B=%d, %s}", x.Len(), x.BlockSize(), x.ix)
+}

@@ -1,0 +1,175 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/point"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func smallCfg() Config {
+	return Config{BlockWords: 32, ForcePolylog: true, PolylogF: 4, PolylogLeafCap: 64}
+}
+
+func toResults(pts []point.P) []Result {
+	out := make([]Result, len(pts))
+	for i, p := range pts {
+		out[i] = Result{X: p.X, Score: p.Score}
+	}
+	return out
+}
+
+func toPoints(rs []Result) []point.P {
+	out := make([]point.P, len(rs))
+	for i, r := range rs {
+		out[i] = point.P{X: r.X, Score: r.Score}
+	}
+	return out
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	idx := New(Config{})
+	idx.Insert(142.50, 9.1)
+	idx.Insert(99.99, 8.4)
+	idx.Insert(180.00, 7.7)
+	idx.Insert(250.00, 9.9)
+	best := idx.TopK(100, 200, 10)
+	if len(best) != 2 {
+		t.Fatalf("got %d results", len(best))
+	}
+	if best[0].Score != 9.1 || best[1].Score != 7.7 {
+		t.Fatalf("wrong order: %v", best)
+	}
+	if idx.Count(100, 200) != 2 {
+		t.Fatal("count")
+	}
+	if !idx.Delete(142.50, 9.1) {
+		t.Fatal("delete")
+	}
+	if got := idx.TopK(100, 200, 1); got[0].Score != 7.7 {
+		t.Fatalf("after delete: %v", got)
+	}
+}
+
+func TestLoadMatchesOracle(t *testing.T) {
+	gen := workload.NewGen(1)
+	pts := gen.Uniform(2500, 1e5)
+	idx := Load(smallCfg(), toResults(pts))
+	oracle := verify.NewOracle(pts)
+	for _, q := range gen.Queries(120, 1e5, 0.05, 0.6, 40) {
+		got := toPoints(idx.TopK(q.X1, q.X2, q.K))
+		if err := verify.DiffTopK(got, oracle.TopK(q.X1, q.X2, q.K)); err != nil {
+			t.Fatalf("query %+v: %v", q, err)
+		}
+	}
+}
+
+func TestStatsMeterMoves(t *testing.T) {
+	idx := Load(smallCfg(), toResults(workload.NewGen(2).Uniform(2000, 1e5)))
+	idx.ResetStats()
+	idx.DropCache()
+	before := idx.Stats()
+	idx.TopK(1e4, 6e4, 10)
+	after := idx.Stats()
+	if after.Reads <= before.Reads {
+		t.Fatal("query charged no reads on a cold cache")
+	}
+	if after.BlocksLive <= 0 {
+		t.Fatal("no live blocks")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting regime flags accepted")
+		}
+	}()
+	New(Config{ForcePolylog: true, ForceBaseline: true})
+}
+
+func TestRegimeAndThresholdExposed(t *testing.T) {
+	idx := Load(smallCfg(), toResults(workload.NewGen(3).Uniform(500, 1e4)))
+	if idx.KThreshold() <= 0 {
+		t.Fatal("threshold")
+	}
+	if idx.Regime() != "polylog(§3.3)" {
+		t.Fatalf("regime %q", idx.Regime())
+	}
+	if idx.BlockSize() != 32 {
+		t.Fatalf("B=%d", idx.BlockSize())
+	}
+}
+
+func TestReinsertionCycle(t *testing.T) {
+	// Delete/re-insert cycles of the same keys must work: the §2 tree
+	// keeps stale x-coordinates by design, and every layer has to cope.
+	idx := New(smallCfg())
+	gen := workload.NewGen(77)
+	pts := gen.Uniform(300, 1e4)
+	for _, p := range pts {
+		idx.Insert(p.X, p.Score)
+	}
+	for round := 0; round < 4; round++ {
+		for _, p := range pts {
+			if !idx.Delete(p.X, p.Score) {
+				t.Fatalf("round %d: delete failed", round)
+			}
+		}
+		for _, p := range pts {
+			idx.Insert(p.X, p.Score)
+		}
+	}
+	oracle := verify.NewOracle(pts)
+	for _, q := range gen.Queries(40, 1e4, 0.1, 0.6, 12) {
+		got := toPoints(idx.TopK(q.X1, q.X2, q.K))
+		if err := verify.DiffTopK(got, oracle.TopK(q.X1, q.X2, q.K)); err != nil {
+			t.Fatalf("after cycles: %v", err)
+		}
+	}
+}
+
+func TestQuickPublicAPI(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		if len(ops) > 60 {
+			ops = ops[:60]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		idx := New(Config{BlockWords: 8, ForcePolylog: true, PolylogF: 3, PolylogLeafCap: 16})
+		oracle := verify.NewOracle(nil)
+		usedX := map[float64]bool{}
+		for _, op := range ops {
+			if op%4 != 0 || oracle.Len() == 0 {
+				p := point.P{X: float64(op) + rng.Float64(), Score: rng.Float64() * 1e6}
+				if usedX[p.X] {
+					continue
+				}
+				usedX[p.X] = true
+				idx.Insert(p.X, p.Score)
+				oracle.Insert(p)
+			} else {
+				live := oracle.Live()
+				p := live[int(op/4)%len(live)]
+				delete(usedX, p.X)
+				if !idx.Delete(p.X, p.Score) {
+					return false
+				}
+				oracle.Delete(p)
+			}
+		}
+		abs := seed
+		if abs < 0 {
+			abs = -abs
+		}
+		x1 := float64(abs % 30000)
+		k := int(abs%9) + 1
+		got := toPoints(idx.TopK(x1, x1+25000, k))
+		return verify.DiffTopK(got, oracle.TopK(x1, x1+25000, k)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
