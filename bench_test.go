@@ -8,6 +8,7 @@ package topk
 // experiment so `go test -bench=.` regenerates the headline numbers.
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -369,6 +370,38 @@ func BenchmarkE13RAMQuery(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(tr.Comparisons)/float64(b.N), "cmps/op")
+}
+
+// BenchmarkShardedTopK: throughput of the shard/serve layer — one
+// query stream against varying shard counts and client goroutine
+// counts. With one shard every query serializes on that shard's
+// mutex; with more shards, queries on disjoint ranges proceed in
+// parallel, which is the serving-layer speedup this bench tracks
+// (qps alongside ns/op).
+func BenchmarkShardedTopK(b *testing.B) {
+	gen := workload.NewGen(22)
+	pts := make([]Result, 0, 1<<14)
+	for _, p := range gen.Uniform(1<<14, 1e6) {
+		pts = append(pts, Result{X: p.X, Score: p.Score})
+	}
+	// Narrow, serving-shaped queries: most land on one shard, so
+	// throughput can scale with goroutines instead of every query
+	// fanning out to (and briefly locking) the whole fleet.
+	queries := gen.Queries(256, 1e6, 0.0005, 0.02, 64)
+	for _, shards := range []int{1, 4, 8} {
+		idx := LoadSharded(ShardedConfig{
+			Config: Config{BlockWords: benchB, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048},
+			Shards: shards,
+		}, pts)
+		for _, g := range []int{1, 4, 16, 64} {
+			b.Run(fmt.Sprintf("shards=%d/goroutines=%d", shards, g), func(b *testing.B) {
+				res := workload.RunConcurrent(g, b.N, queries, func(q workload.QuerySpec) {
+					idx.TopK(q.X1, q.X2, q.K)
+				})
+				b.ReportMetric(res.QPS(), "qps")
+			})
+		}
+	}
 }
 
 var _ = point.P{} // keep the import for helper extensions

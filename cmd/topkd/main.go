@@ -1,0 +1,182 @@
+// Command topkd serves a topk.Sharded index over HTTP/JSON — the
+// minimal network face of the concurrent serving layer. Handlers call
+// straight into the Sharded router, which is safe for concurrent use,
+// so the server needs no locking of its own; net/http's per-connection
+// goroutines become the router's query/update concurrency.
+//
+//	$ topkd -addr :8080 -shards 8 -n 100000
+//	$ curl -s 'localhost:8080/topk?x1=100&x2=200&k=3'
+//	$ curl -s -X POST localhost:8080/insert -d '{"x":150.5,"score":9.9}'
+//	$ curl -s -X POST localhost:8080/delete -d '{"x":150.5,"score":9.9}'
+//	$ curl -s 'localhost:8080/count?x1=0&x2=1000'
+//	$ curl -s localhost:8080/stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	topk "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 8, "maximum shard count")
+	b := flag.Int("B", 64, "block size in words per shard disk")
+	n := flag.Int("n", 0, "synthetic points to preload")
+	seed := flag.Int64("seed", 1, "preload workload seed")
+	flag.Parse()
+
+	cfg := topk.ShardedConfig{
+		Config: topk.Config{BlockWords: *b, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048},
+		Shards: *shards,
+	}
+	var idx *topk.Sharded
+	if *n > 0 {
+		pts := make([]topk.Result, 0, *n)
+		for _, p := range workload.NewGen(*seed).Uniform(*n, 1e6) {
+			pts = append(pts, topk.Result{X: p.X, Score: p.Score})
+		}
+		idx = topk.LoadSharded(cfg, pts)
+	} else {
+		idx = topk.NewSharded(cfg)
+	}
+	log.Printf("topkd: serving %s on %s", idx, *addr)
+	log.Fatal(http.ListenAndServe(*addr, newServer(idx)))
+}
+
+// pointReq is the body of /insert and /delete.
+type pointReq struct {
+	X     float64 `json:"x"`
+	Score float64 `json:"score"`
+}
+
+// resultJSON mirrors topk.Result with lowercase keys.
+type resultJSON struct {
+	X     float64 `json:"x"`
+	Score float64 `json:"score"`
+}
+
+// newServer returns the topkd handler tree over idx.
+func newServer(idx *topk.Sharded) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /insert", func(w http.ResponseWriter, r *http.Request) {
+		var req pointReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad json: %v", err)
+			return
+		}
+		// The index's contract is a set: distinct positions (and
+		// scores). A single-op batch is the atomic check-and-insert —
+		// it rejects an occupied position under the shard lock instead
+		// of panicking, so concurrent duplicates race to one 200 and
+		// one 409. (A duplicate *score* is not detected: on the same
+		// shard it surfaces as a structure panic → 500 via withRecover;
+		// across shards it is accepted and violates the distinct-score
+		// contract — callers own score uniqueness, as with topk.Index.)
+		if ok := idx.ApplyBatch([]topk.BatchOp{{X: req.X, Score: req.Score}}); !ok[0] {
+			httpError(w, http.StatusConflict, "position %v already present", req.X)
+			return
+		}
+		writeJSON(w, map[string]any{"ok": true, "n": idx.Len()})
+	})
+
+	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) {
+		var req pointReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad json: %v", err)
+			return
+		}
+		found := idx.Delete(req.X, req.Score)
+		writeJSON(w, map[string]any{"found": found, "n": idx.Len()})
+	})
+
+	mux.HandleFunc("GET /topk", func(w http.ResponseWriter, r *http.Request) {
+		x1, err1 := queryFloat(r, "x1")
+		x2, err2 := queryFloat(r, "x2")
+		k, err3 := queryInt(r, "k")
+		if err1 != nil || err2 != nil || err3 != nil {
+			httpError(w, http.StatusBadRequest, "need float x1, x2 and int k")
+			return
+		}
+		// Clamp k to the live size: k > n returns everything anyway,
+		// and the selection paths preallocate k-sized buffers, so an
+		// absurd client k must not size an allocation.
+		if n := idx.Len(); k > n {
+			k = n
+		}
+		res := idx.TopK(x1, x2, k)
+		out := make([]resultJSON, len(res))
+		for i, p := range res {
+			out[i] = resultJSON{X: p.X, Score: p.Score}
+		}
+		writeJSON(w, map[string]any{"results": out})
+	})
+
+	mux.HandleFunc("GET /count", func(w http.ResponseWriter, r *http.Request) {
+		x1, err1 := queryFloat(r, "x1")
+		x2, err2 := queryFloat(r, "x2")
+		if err1 != nil || err2 != nil {
+			httpError(w, http.StatusBadRequest, "need float x1 and x2")
+			return
+		}
+		writeJSON(w, map[string]any{"count": idx.Count(x1, x2)})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		s := idx.Stats()
+		writeJSON(w, map[string]any{
+			"n":           idx.Len(),
+			"shards":      idx.NumShards(),
+			"reads":       s.Reads,
+			"writes":      s.Writes,
+			"blocks_live": s.BlocksLive,
+			"blocks_peak": s.BlocksPeak,
+		})
+	})
+
+	return withRecover(mux)
+}
+
+// withRecover turns handler panics into JSON 500s. The router releases
+// its locks on panic (internal/shard unlocks with defer), so one
+// contract-violating request cannot wedge the fleet; without this
+// middleware net/http would just sever the connection.
+func withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				log.Printf("topkd: %s %s panicked: %v", r.Method, r.URL.Path, v)
+				httpError(w, http.StatusInternalServerError, "internal error: %v", v)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func queryFloat(r *http.Request, key string) (float64, error) {
+	return strconv.ParseFloat(r.URL.Query().Get(key), 64)
+}
+
+func queryInt(r *http.Request, key string) (int, error) {
+	return strconv.Atoi(r.URL.Query().Get(key))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("topkd: encode: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,276 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	topk "repro"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	idx := topk.NewSharded(topk.ShardedConfig{
+		Config: topk.Config{ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048},
+		Shards: 4,
+	})
+	srv := httptest.NewServer(newServer(idx))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func decode(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	srv := testServer(t)
+
+	for i := 0; i < 20; i++ {
+		body := fmt.Sprintf(`{"x":%d,"score":%d.5}`, i*10, i)
+		resp, err := http.Post(srv.URL+"/insert", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			OK bool `json:"ok"`
+			N  int  `json:"n"`
+		}
+		decode(t, resp, &out)
+		if !out.OK || out.N != i+1 {
+			t.Fatalf("insert %d: %+v", i, out)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/topk?x1=0&x2=95&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tk struct {
+		Results []struct {
+			X     float64 `json:"x"`
+			Score float64 `json:"score"`
+		} `json:"results"`
+	}
+	decode(t, resp, &tk)
+	if len(tk.Results) != 3 || tk.Results[0].X != 90 || tk.Results[0].Score != 9.5 {
+		t.Fatalf("topk: %+v", tk)
+	}
+
+	resp, err = http.Get(srv.URL + "/count?x1=0&x2=95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cnt struct {
+		Count int `json:"count"`
+	}
+	decode(t, resp, &cnt)
+	if cnt.Count != 10 {
+		t.Fatalf("count = %d, want 10", cnt.Count)
+	}
+
+	resp, err = http.Post(srv.URL+"/delete", "application/json", strings.NewReader(`{"x":90,"score":9.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var del struct {
+		Found bool `json:"found"`
+		N     int  `json:"n"`
+	}
+	decode(t, resp, &del)
+	if !del.Found || del.N != 19 {
+		t.Fatalf("delete: %+v", del)
+	}
+	resp, err = http.Post(srv.URL+"/delete", "application/json", strings.NewReader(`{"x":90,"score":9.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, &del)
+	if del.Found {
+		t.Fatal("second delete reported found")
+	}
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		N      int   `json:"n"`
+		Shards int   `json:"shards"`
+		Writes int64 `json:"writes"`
+	}
+	decode(t, resp, &st)
+	if st.N != 19 || st.Shards < 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		method, path, body string
+	}{
+		{"POST", "/insert", "not json"},
+		{"POST", "/delete", "{"},
+		{"GET", "/topk?x1=a&x2=1&k=1", ""},
+		{"GET", "/topk?x1=0&x2=1", ""},
+		{"GET", "/count?x1=0", ""},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, srv.URL+c.path, strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s %s: status %d, want 400", c.method, c.path, resp.StatusCode)
+		}
+	}
+	// An absurd k must be served (clamped to the live size), not
+	// size a multi-gigabyte allocation.
+	resp2, err := http.Get(srv.URL + "/topk?x1=-1e18&x2=1e18&k=2000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tk struct {
+		Results []any `json:"results"`
+	}
+	decode(t, resp2, &tk)
+	if len(tk.Results) != 0 {
+		t.Fatalf("huge k on empty index returned %d results", len(tk.Results))
+	}
+	// Wrong method on a registered pattern.
+	resp, err := http.Get(srv.URL + "/insert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /insert: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestDuplicateInsert: re-inserting an occupied position violates the
+// index's set contract; the server must refuse with 409 (or degrade
+// to a 500 in the racy residual case) and keep serving afterwards.
+func TestDuplicateInsert(t *testing.T) {
+	srv := testServer(t)
+	body := `{"x":42.5,"score":7.25}`
+	resp, err := http.Post(srv.URL+"/insert", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(srv.URL+"/insert", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate insert: status %d, want 409", resp.StatusCode)
+	}
+	// Same position, different score is still a duplicate position.
+	resp, err = http.Post(srv.URL+"/insert", "application/json", strings.NewReader(`{"x":42.5,"score":9.9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("same-position insert: status %d, want 409", resp.StatusCode)
+	}
+	// The index still serves.
+	resp, err = http.Get(srv.URL + "/topk?x1=0&x2=100&k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tk struct {
+		Results []struct {
+			X float64 `json:"x"`
+		} `json:"results"`
+	}
+	decode(t, resp, &tk)
+	if len(tk.Results) != 1 || tk.Results[0].X != 42.5 {
+		t.Fatalf("post-conflict topk: %+v", tk)
+	}
+}
+
+// TestRecoverMiddleware: a panicking handler yields a JSON 500, not a
+// severed connection.
+func TestRecoverMiddleware(t *testing.T) {
+	srv := httptest.NewServer(withRecover(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	})))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Error, "boom") {
+		t.Fatalf("error body: %+v", out)
+	}
+}
+
+// TestConcurrentClients hammers the server from parallel goroutines,
+// mimicking real serving traffic end to end through HTTP.
+func TestConcurrentClients(t *testing.T) {
+	srv := testServer(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				body := fmt.Sprintf(`{"x":%d.25,"score":%d.75}`, w*1000+i, w*1000+i)
+				resp, err := http.Post(srv.URL+"/insert", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				resp, err = http.Get(srv.URL + "/topk?x1=0&x2=10000&k=5")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		N int `json:"n"`
+	}
+	decode(t, resp, &st)
+	if st.N != 8*25 {
+		t.Fatalf("n = %d, want %d", st.N, 8*25)
+	}
+}

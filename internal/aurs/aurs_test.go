@@ -1,6 +1,7 @@
 package aurs
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -31,11 +32,10 @@ func (s *sliceSet) Rank(rho float64) float64 {
 	lo := rho
 	hi := float64(s.c1)*rho - 1
 	r := int(lo + s.slop*(hi-lo))
-	if r < int(rho) {
-		r = int(rho)
-		if float64(r) < rho {
-			r++
-		}
+	if float64(r) < rho {
+		// The contract is rank ≥ ρ; flooring lo+slop·(hi−lo) can land at
+		// ⌊ρ⌋, one below ⌈ρ⌉, when ρ is fractional and slop is small.
+		r = int(math.Ceil(rho))
 	}
 	if r > len(s.vals) {
 		r = len(s.vals)

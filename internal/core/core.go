@@ -200,6 +200,12 @@ func (ix *Index) maybeRebuild() {
 // cost global rebuilding amortizes).
 func (ix *Index) live() []point.P { return ix.tree.Live() }
 
+// Live returns the current point set as an O(n/B) scan of the §2 tree.
+// The shard layer uses it to re-partition an index when splitting; its
+// cost is amortized against the updates that made the split necessary,
+// the same argument as global rebuilding.
+func (ix *Index) Live() []point.P { return ix.live() }
+
 // Insert adds p in O(log_B n) amortized I/Os.
 func (ix *Index) Insert(p point.P) {
 	ix.tree.Insert(p)

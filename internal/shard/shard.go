@@ -1,0 +1,701 @@
+// Package shard is the concurrent serving layer over the sequential
+// Theorem 1 machine: a position-range-partitioned router that owns N
+// independent core.Index instances, one simulated EM disk each.
+//
+// The paper's structure (and the EM model it is analysed in) is
+// strictly sequential — core.Index and em.Disk document themselves as
+// unsafe for concurrent use, because even a query mutates the buffer
+// pool's LRU state. The classical remedy is range partitioning: the
+// real line is cut into contiguous shards, each shard is a complete
+// Theorem 1 structure over its sub-range with its own disk, buffer
+// pool and I/O meter, and every shard is guarded by its own mutex. The
+// per-structure bounds then hold per shard (a shard holding n_i points
+// answers in O(log_B n_i + k/B) I/Os), while operations on different
+// shards proceed in parallel.
+//
+// Topology (the cut positions) is guarded by a RWMutex taken in read
+// mode by every operation and in write mode only when re-partitioning,
+// so routing never blocks routing. Queries that straddle cut positions
+// fan out to the affected shards in parallel goroutines, each shard
+// answering its own top-k; the per-shard answers — already sorted by
+// descending score — are k-way merged with internal/heap's best-first
+// selection, which preserves the exact descending-score semantics of
+// the unsharded structure (scores are distinct by the paper's standing
+// assumption, so the merged order is unique).
+//
+// Shards split when insertion skew concentrates too large a share of
+// the live set in one of them (see Options.SkewFactor): the overloaded
+// shard's points are scanned out with core.Live, cut at the median
+// position, and rebuilt into two halves with core.Bulk — the cost is
+// amortized against the insertions that caused the overload, the same
+// argument as the paper's global rebuilding. Rebalance re-partitions
+// the whole router into equal quantile shards on demand.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/em"
+	"repro/internal/heap"
+	"repro/internal/point"
+)
+
+// Options configures a Router. The zero value serves from up to 8
+// shards of paper-default EM machines.
+type Options struct {
+	// Disk configures each shard's simulated EM machine.
+	Disk em.Config
+	// Core configures each shard's Theorem 1 structure.
+	Core core.Options
+	// MaxShards caps the shard count (default 8). Splitting stops at the
+	// cap; Bulk never creates more than this many shards.
+	MaxShards int
+	// SkewFactor triggers a split when one shard holds more than
+	// SkewFactor times the fair share n/MaxShards of the live set
+	// (default 2.0). Measuring against the target fleet size rather
+	// than the current shard count lets a fresh single-shard router
+	// split its way to a balanced fleet as data arrives.
+	SkewFactor float64
+	// MinSplit is the smallest shard size eligible for splitting
+	// (default 512), so tiny indexes stay on one machine.
+	MinSplit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxShards <= 0 {
+		o.MaxShards = 8
+	}
+	if o.SkewFactor <= 1 {
+		o.SkewFactor = 2.0
+	}
+	if o.MinSplit <= 0 {
+		o.MinSplit = 512
+	}
+	return o
+}
+
+// shard is one partition: a complete sequential EM machine over the
+// position range [lo, hi) plus the mutex that serializes access to it.
+// lo/hi are immutable after construction (re-partitioning builds new
+// shard values), so they may be read without the mutex by anyone
+// holding the router's topology lock.
+type shard struct {
+	mu sync.Mutex
+	lo float64 // inclusive; −Inf for the first shard
+	hi float64 // exclusive; +Inf for the last shard
+	d  *em.Disk
+	ix *core.Index
+}
+
+func newShard(opt Options, lo, hi float64, pts []point.P) *shard {
+	d := em.NewDisk(opt.Disk)
+	s := &shard{lo: lo, hi: hi, d: d}
+	if len(pts) == 0 {
+		s.ix = core.New(d, opt.Core)
+	} else {
+		s.ix = core.Bulk(d, opt.Core, pts)
+	}
+	return s
+}
+
+// Router fans operations out over position-range shards. All methods
+// are safe for concurrent use.
+type Router struct {
+	opt Options
+
+	// mu guards the topology (the shards slice and the cut positions
+	// embedded in it). Read-locked by every operation; write-locked only
+	// by split/Rebalance.
+	mu     sync.RWMutex
+	shards []*shard
+
+	// n is the live point count, maintained atomically so Len never
+	// takes a shard lock.
+	n atomic.Int64
+
+	// retired accumulates the meters of disks discarded by splits and
+	// rebalances, so aggregate Stats never lose history. Guarded by mu
+	// (write mode).
+	retired em.Stats
+}
+
+// New returns an empty Router: one shard covering the whole line,
+// which splits as skew develops.
+func New(opt Options) *Router {
+	opt = opt.withDefaults()
+	return &Router{
+		opt:    opt,
+		shards: []*shard{newShard(opt, math.Inf(-1), math.Inf(1), nil)},
+	}
+}
+
+// Bulk builds a Router over pts, pre-partitioned into min(shards,
+// MaxShards) equal quantile ranges (at least one point per shard).
+// shards < 1 means "use the (defaulted) MaxShards".
+func Bulk(opt Options, pts []point.P, shards int) *Router {
+	opt = opt.withDefaults()
+	r := &Router{opt: opt}
+	if shards < 1 || shards > opt.MaxShards {
+		shards = opt.MaxShards
+	}
+	sorted := append([]point.P(nil), pts...)
+	point.SortByX(sorted)
+	r.shards = partition(opt, sorted, shards)
+	r.n.Store(int64(len(pts)))
+	return r
+}
+
+// partition cuts sorted (by X) points into up to want contiguous
+// shards of near-equal size. Cut positions must fall strictly between
+// distinct X values, so fewer shards may result when points repeat a
+// prefix... positions are distinct by assumption, but defensively any
+// zero-width range is merged left.
+func partition(opt Options, sorted []point.P, want int) []*shard {
+	if want < 1 {
+		want = 1
+	}
+	if want > len(sorted) {
+		want = len(sorted)
+	}
+	if want <= 1 {
+		return []*shard{newShard(opt, math.Inf(-1), math.Inf(1), sorted)}
+	}
+	var out []*shard
+	lo := math.Inf(-1)
+	start := 0
+	for i := 0; i < want; i++ {
+		end := (i + 1) * len(sorted) / want
+		if i == want-1 {
+			end = len(sorted)
+		}
+		if end <= start {
+			continue
+		}
+		hi := math.Inf(1)
+		if end < len(sorted) {
+			hi = sorted[end].X
+			// Distinct positions guarantee sorted[end-1].X < hi; if the
+			// chunk boundary repeats a position, extend the chunk.
+			for end < len(sorted) && sorted[end-1].X >= hi {
+				end++
+				if end < len(sorted) {
+					hi = sorted[end].X
+				} else {
+					hi = math.Inf(1)
+				}
+			}
+		}
+		out = append(out, newShard(opt, lo, hi, sorted[start:end]))
+		lo = hi
+		start = end
+		if end == len(sorted) {
+			break
+		}
+	}
+	return out
+}
+
+// locate returns the index of the shard covering x. Caller holds mu.
+func (r *Router) locate(x float64) int {
+	// First shard with hi > x; lows are contiguous so this is the cover.
+	// x = +Inf matches no half-open range and is clamped to the last
+	// shard (the same defensive treatment a single Index gives it).
+	i := sort.Search(len(r.shards), func(i int) bool { return x < r.shards[i].hi })
+	if i == len(r.shards) {
+		i--
+	}
+	return i
+}
+
+// Len returns the number of live points.
+func (r *Router) Len() int { return int(r.n.Load()) }
+
+// NumShards returns the current shard count.
+func (r *Router) NumShards() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.shards)
+}
+
+// Boundaries returns the current cut positions (len NumShards−1),
+// ascending. Tests use it to craft boundary-straddling queries.
+func (r *Router) Boundaries() []float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cuts := make([]float64, 0, len(r.shards)-1)
+	for _, s := range r.shards[1:] {
+		cuts = append(cuts, s.lo)
+	}
+	return cuts
+}
+
+// Insert adds p. Safe for concurrent use.
+//
+// All router methods unlock with defer: the underlying structures
+// panic on contract violations (duplicate positions or scores — the
+// paper's input is a set of reals with distinct scores), and a panic
+// that unwound past a held lock would wedge the shard for every
+// future request. The panic still propagates to the caller; the
+// violating shard's structures may be left partially updated, but the
+// fleet keeps serving.
+func (r *Router) Insert(p point.P) {
+	if r.insertLocked(p) {
+		r.splitOverloaded()
+	}
+}
+
+// insertLocked performs the insert under the topology read lock and
+// reports whether the target shard came out overloaded. It panics on
+// an occupied position — but BEFORE mutating anything: core.Index
+// applies an update to both maintained structures in turn, so letting
+// the violation surface mid-update would leave them diverged and
+// poison every later rebuild of the shard. The Count pre-check is one
+// O(log_B n) probe, paid only by the serving layer; the sequential
+// core keeps the paper's exact update path.
+func (r *Router) insertLocked(p point.P) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.shards[r.locate(p.X)]
+	ln := func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.ix.Count(p.X, p.X) > 0 {
+			panic(fmt.Sprintf("shard: position %v already present (the input is a set of reals)", p.X))
+		}
+		s.ix.Insert(p)
+		return s.ix.Len()
+	}()
+	return r.overloaded(ln, r.n.Add(1))
+}
+
+// Delete removes p, reporting whether it was present.
+func (r *Router) Delete(p point.P) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.shards[r.locate(p.X)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ix.Delete(p) {
+		return false
+	}
+	r.n.Add(-1)
+	return true
+}
+
+// overloaded applies the split policy to a shard of size ln with the
+// given live total. Caller holds mu (either mode).
+func (r *Router) overloaded(ln int, total int64) bool {
+	if len(r.shards) >= r.opt.MaxShards || ln < r.opt.MinSplit {
+		return false
+	}
+	fair := float64(total) / float64(r.opt.MaxShards)
+	return float64(ln) > r.opt.SkewFactor*fair
+}
+
+// splitOverloaded re-checks the split policy under the write lock and
+// splits every qualifying shard at its median position. Re-checking is
+// required: between the RUnlock that observed the overload and this
+// write lock, another goroutine may already have split.
+func (r *Router) splitOverloaded() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		total := r.n.Load()
+		split := false
+		for i, s := range r.shards {
+			if !r.overloaded(s.ix.Len(), total) {
+				continue
+			}
+			pts := s.ix.Live()
+			point.SortByX(pts)
+			mid := len(pts) / 2
+			// Positions are distinct, so pts[mid-1].X < pts[mid].X and
+			// the median is a valid cut strictly inside (lo, hi).
+			cut := pts[mid].X
+			left := newShard(r.opt, s.lo, cut, pts[:mid])
+			right := newShard(r.opt, cut, s.hi, pts[mid:])
+			r.retired = addStats(r.retired, s.d.Stats())
+			r.shards = append(r.shards[:i:i], append([]*shard{left, right}, r.shards[i+1:]...)...)
+			split = true
+			break
+		}
+		if !split {
+			return
+		}
+	}
+}
+
+// Rebalance re-partitions the router into up to target equal quantile
+// shards (capped at MaxShards; target < 1 means MaxShards), preserving
+// contents exactly.
+func (r *Router) Rebalance(target int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if target < 1 || target > r.opt.MaxShards {
+		target = r.opt.MaxShards
+	}
+	var all []point.P
+	retired := r.retired
+	for _, s := range r.shards {
+		all = append(all, s.ix.Live()...)
+		retired = addStats(retired, s.d.Stats())
+	}
+	point.SortByX(all)
+	// Build first, commit after: if the rebuild panics (e.g. a
+	// contract violation that slipped into the data), the router keeps
+	// its old shards and meters instead of double-counting retired
+	// stats on a retry.
+	shards := partition(r.opt, all, target)
+	r.retired = retired
+	r.shards = shards
+}
+
+// panicBox carries a recovered panic value across goroutines with a
+// single concrete type, as atomic.Value requires.
+type panicBox struct{ v any }
+
+// runParallel runs each fn in its own goroutine and waits for all.
+// A panic inside a worker (a contract violation surfacing from the
+// sequential structures) is captured and re-raised on the caller's
+// goroutine after every worker finishes — an unrecovered goroutine
+// panic would kill the whole process, and shard locks are released by
+// the workers' own defers.
+func runParallel(fns []func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	var pv atomic.Value
+	for _, f := range fns {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					pv.CompareAndSwap(nil, &panicBox{v})
+				}
+			}()
+			f()
+		}(f)
+	}
+	wg.Wait()
+	if b := pv.Load(); b != nil {
+		panic(b.(*panicBox).v)
+	}
+}
+
+// listSource adapts a descending-score point list to heap.Source: a
+// sorted list is a unary max-heap chain (entry i's only child is
+// entry i+1), so heap.Forest + heap.SelectTop perform a k-way merge
+// that pops the global maximum at every step. Refs are list indices;
+// no I/O is charged (the lists are query results already in memory).
+type listSource []point.P
+
+func (l listSource) Roots() []heap.Entry {
+	if len(l) == 0 {
+		return nil
+	}
+	return []heap.Entry{{Ref: 0, Key: l[0].Score}}
+}
+
+func (l listSource) Children(ref int64) []heap.Entry {
+	next := ref + 1
+	if next >= int64(len(l)) {
+		return nil
+	}
+	return []heap.Entry{{Ref: next, Key: l[next].Score}}
+}
+
+// mergeTopK k-way merges per-shard descending-score lists into the
+// global top k, preserving exact order (scores are distinct). k is
+// clamped to the merged length first, so an absurd client-supplied k
+// cannot drive the output allocation.
+func mergeTopK(lists [][]point.P, k int) []point.P {
+	nonEmpty := lists[:0]
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			nonEmpty = append(nonEmpty, l)
+			total += len(l)
+		}
+	}
+	if k > total {
+		k = total
+	}
+	switch len(nonEmpty) {
+	case 0:
+		return nil
+	case 1:
+		if k < len(nonEmpty[0]) {
+			return nonEmpty[0][:k]
+		}
+		return nonEmpty[0]
+	}
+	f := &heap.Forest{Sources: make([]heap.Source, len(nonEmpty))}
+	for i, l := range nonEmpty {
+		f.Sources[i] = listSource(l)
+	}
+	out := make([]point.P, 0, k)
+	for _, e := range heap.SelectTop(f, k) {
+		src, ref := heap.SplitRef(e.Ref)
+		out = append(out, nonEmpty[src][ref])
+	}
+	return out
+}
+
+// fanOut runs per once for every shard overlapping [x1, x2], holding
+// the topology read lock throughout and the shard's mutex around its
+// call. setup receives the overlap count first so callers can size
+// result slices; slot indexes them 0..count−1 in shard order. With a
+// single overlapped shard everything runs on the caller's goroutine;
+// otherwise shards proceed in parallel. No query clamping is needed
+// anywhere: a shard only stores points inside its range, so the full
+// interval selects exactly its part.
+func (r *Router) fanOut(x1, x2 float64, setup func(count int), per func(slot int, ix *core.Index)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	lo, hi := r.locate(x1), r.locate(x2)
+	setup(hi - lo + 1)
+	if lo == hi {
+		s := r.shards[lo]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		per(0, s.ix)
+		return
+	}
+	fns := make([]func(), 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		s, slot := r.shards[i], i-lo
+		fns = append(fns, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			per(slot, s.ix)
+		})
+	}
+	runParallel(fns)
+}
+
+// TopK returns the k highest-scoring points with position in [x1, x2]
+// in descending score order, fanning out to every shard the interval
+// overlaps in parallel and heap-merging the per-shard answers.
+func (r *Router) TopK(x1, x2 float64, k int) []point.P {
+	// NaN bounds match nothing; they must be rejected here because they
+	// also defeat the x1 > x2 guard and the locate binary search (every
+	// comparison with NaN is false), which would cross the fan-out's
+	// shard range.
+	if k <= 0 || x1 > x2 || math.IsNaN(x1) || math.IsNaN(x2) {
+		return nil
+	}
+	var lists [][]point.P
+	r.fanOut(x1, x2,
+		func(count int) { lists = make([][]point.P, count) },
+		func(slot int, ix *core.Index) { lists[slot] = ix.Query(x1, x2, k) })
+	return mergeTopK(lists, k)
+}
+
+// Count returns the number of stored points with position in [x1, x2],
+// summing overlapped shards in parallel.
+func (r *Router) Count(x1, x2 float64) int {
+	if x1 > x2 || math.IsNaN(x1) || math.IsNaN(x2) {
+		return 0
+	}
+	var counts []int
+	r.fanOut(x1, x2,
+		func(count int) { counts = make([]int, count) },
+		func(slot int, ix *core.Index) { counts[slot] = ix.Count(x1, x2) })
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Op is one batched update: an insert of P, or a delete of P when
+// Delete is set.
+type Op struct {
+	Delete bool
+	P      point.P
+}
+
+// ApplyBatch applies ops concurrently, grouping them by target shard
+// so each shard is locked once and ops on different shards run in
+// parallel goroutines. Per-shard order follows batch order, so a batch
+// is equivalent to some sequential interleaving of its ops (any two
+// ops on different shards commute: shards hold disjoint position
+// ranges). The result reports per op whether it took effect: for
+// deletes, presence; for inserts, whether the position was free — an
+// insert at an occupied position is rejected (false) rather than
+// violating the set contract mid-structure.
+func (r *Router) ApplyBatch(ops []Op) []bool {
+	if len(ops) == 0 {
+		return nil
+	}
+	res := make([]bool, len(ops))
+	if r.applyBatchLocked(ops, res) {
+		r.splitOverloaded()
+	}
+	return res
+}
+
+// applyBatchLocked runs the batch under the topology read lock and
+// reports whether any touched shard came out overloaded. The live
+// counter is maintained per op so it stays accurate even if a
+// contract violation aborts the batch mid-way.
+func (r *Router) applyBatchLocked(ops []Op, res []bool) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	groups := make(map[int][]int, len(r.shards))
+	for i, op := range ops {
+		si := r.locate(op.P.X)
+		groups[si] = append(groups[si], i)
+	}
+	lens := make([]int, len(groups)) // final sizes of touched shards
+	fns := make([]func(), 0, len(groups))
+	nextSlot := 0
+	for si, idxs := range groups {
+		s, idxs, slot := r.shards[si], idxs, nextSlot
+		nextSlot++
+		fns = append(fns, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for _, i := range idxs {
+				switch {
+				case ops[i].Delete:
+					if s.ix.Delete(ops[i].P) {
+						res[i] = true
+						r.n.Add(-1)
+					}
+				case s.ix.Count(ops[i].P.X, ops[i].P.X) > 0:
+					// Occupied position: rejected, res[i] stays false.
+				default:
+					s.ix.Insert(ops[i].P)
+					res[i] = true
+					r.n.Add(1)
+				}
+			}
+			lens[slot] = s.ix.Len()
+		})
+	}
+	runParallel(fns)
+	total := r.n.Load()
+	for _, ln := range lens {
+		if r.overloaded(ln, total) {
+			return true
+		}
+	}
+	return false
+}
+
+func addStats(a, b em.Stats) em.Stats {
+	return em.Stats{
+		Reads:      a.Reads + b.Reads,
+		Writes:     a.Writes + b.Writes,
+		Allocs:     a.Allocs + b.Allocs,
+		Frees:      a.Frees + b.Frees,
+		BlocksLive: a.BlocksLive + b.BlocksLive,
+		BlocksPeak: a.BlocksPeak + b.BlocksPeak,
+	}
+}
+
+// Stats aggregates the I/O meters of every shard disk plus the meters
+// of disks retired by splits and rebalances. BlocksPeak is the sum of
+// per-shard peaks (an upper bound on the true simultaneous peak; the
+// shards' disks are independent devices).
+func (r *Router) Stats() em.Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := r.retired
+	// Retired space gauges describe freed disks; only transfer counters
+	// carry over.
+	out.BlocksLive = 0
+	out.BlocksPeak = 0
+	for _, s := range r.shards {
+		s.mu.Lock()
+		out = addStats(out, s.d.Stats())
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ResetStats zeroes every shard's read/write counters and drops the
+// retired-meter history (space gauges are kept, matching em).
+func (r *Router) ResetStats() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retired = em.Stats{}
+	for _, s := range r.shards {
+		s.mu.Lock()
+		s.d.ResetMeter()
+		s.mu.Unlock()
+	}
+}
+
+// DropCache evicts every shard's buffer pool so the next operations
+// run cold.
+func (r *Router) DropCache() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, s := range r.shards {
+		s.mu.Lock()
+		s.d.DropCache()
+		s.mu.Unlock()
+	}
+}
+
+// CheckInvariants validates every shard's structures, that each live
+// point lies inside its shard's range, and that the atomic live count
+// matches the shards (test helper; takes the write lock).
+func (r *Router) CheckInvariants() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	prevHi := math.Inf(-1)
+	for i, s := range r.shards {
+		if i == 0 {
+			if !math.IsInf(s.lo, -1) {
+				return fmt.Errorf("shard 0 lo = %v, want -Inf", s.lo)
+			}
+		} else if s.lo != prevHi {
+			return fmt.Errorf("shard %d lo = %v, want previous hi %v", i, s.lo, prevHi)
+		}
+		if i == len(r.shards)-1 && !math.IsInf(s.hi, 1) {
+			return fmt.Errorf("last shard hi = %v, want +Inf", s.hi)
+		}
+		if err := s.ix.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		for _, p := range s.ix.Live() {
+			if p.X < s.lo || p.X >= s.hi {
+				return fmt.Errorf("shard %d [%v,%v): stray point x=%v", i, s.lo, s.hi, p.X)
+			}
+		}
+		total += s.ix.Len()
+		prevHi = s.hi
+	}
+	if int64(total) != r.n.Load() {
+		return fmt.Errorf("live count %d != atomic n %d", total, r.n.Load())
+	}
+	return nil
+}
+
+// String summarizes the router and its shards.
+func (r *Router) String() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "shard.Router{n=%d, shards=%d", r.n.Load(), len(r.shards))
+	for i, s := range r.shards {
+		s.mu.Lock()
+		fmt.Fprintf(&b, ", s%d[%g,%g)=%d", i, s.lo, s.hi, s.ix.Len())
+		s.mu.Unlock()
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,434 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/em"
+	"repro/internal/point"
+	"repro/internal/workload"
+)
+
+// testOptions keeps shards in the polylog regime with small tree-shape
+// parameters, matching the rest of the test suite at test-sized n.
+func testOptions(maxShards int) Options {
+	return Options{
+		Disk:      em.Config{B: 64},
+		Core:      core.Options{Regime: core.RegimePolylog, PolylogF: 8, PolylogLeafCap: 2048},
+		MaxShards: maxShards,
+		MinSplit:  256,
+	}
+}
+
+// checkQueries compares the router against the brute-force oracle on
+// the given queries, requiring exactly equal (ordered) answers.
+func checkQueries(t *testing.T, r *Router, all []point.P, qs []workload.QuerySpec) {
+	t.Helper()
+	for _, q := range qs {
+		got := r.TopK(q.X1, q.X2, q.K)
+		want := point.TopK(all, q.X1, q.X2, q.K)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("TopK(%v,%v,%d):\n got %v\nwant %v", q.X1, q.X2, q.K, got, want)
+		}
+		if gc, wc := r.Count(q.X1, q.X2), len(point.TopK(all, q.X1, q.X2, len(all))); gc != wc {
+			t.Fatalf("Count(%v,%v): got %d want %d", q.X1, q.X2, gc, wc)
+		}
+	}
+}
+
+// straddlers builds queries guaranteed to cross every cut position.
+func straddlers(r *Router, xMax float64, maxK int, rng *rand.Rand) []workload.QuerySpec {
+	var qs []workload.QuerySpec
+	for _, cut := range r.Boundaries() {
+		w := rng.Float64() * xMax / 4
+		qs = append(qs,
+			workload.QuerySpec{X1: cut - w, X2: cut + w, K: rng.Intn(maxK) + 1},
+			workload.QuerySpec{X1: cut, X2: cut + w, K: rng.Intn(maxK) + 1},
+			workload.QuerySpec{X1: cut - w, X2: cut, K: rng.Intn(maxK) + 1},
+		)
+	}
+	// One query spanning every shard at once.
+	qs = append(qs, workload.QuerySpec{X1: math.Inf(-1), X2: math.Inf(1), K: maxK})
+	return qs
+}
+
+func TestBulkDifferentialOracle(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		gen := workload.NewGen(int64(100 + shards))
+		pts := gen.Uniform(4000, 1e6)
+		r := Bulk(testOptions(shards), pts, shards)
+		if got := r.NumShards(); got != shards {
+			t.Fatalf("NumShards = %d, want %d", got, shards)
+		}
+		if r.Len() != len(pts) {
+			t.Fatalf("Len = %d, want %d", r.Len(), len(pts))
+		}
+		rng := rand.New(rand.NewSource(int64(shards)))
+		qs := gen.Queries(60, 1e6, 0.001, 0.9, 200)
+		qs = append(qs, straddlers(r, 1e6, 200, rng)...)
+		checkQueries(t, r, pts, qs)
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClusteredDifferentialOracle(t *testing.T) {
+	// Clustered data makes quantile cuts land inside hot regions, so
+	// boundary-straddling queries dominate.
+	gen := workload.NewGen(7)
+	pts := gen.Clustered(5000, 4, 1e6)
+	r := Bulk(testOptions(6), pts, 6)
+	rng := rand.New(rand.NewSource(8))
+	qs := gen.Queries(80, 1e6, 0.0005, 0.6, 300)
+	qs = append(qs, straddlers(r, 1e6, 300, rng)...)
+	checkQueries(t, r, pts, qs)
+}
+
+func TestIncrementalUpdatesAndSplit(t *testing.T) {
+	gen := workload.NewGen(11)
+	r := New(testOptions(8))
+	var live []point.P
+	for _, p := range gen.Uniform(6000, 1e6) {
+		r.Insert(p)
+		live = append(live, p)
+	}
+	if r.NumShards() < 2 {
+		t.Fatalf("no splits after 6000 uniform inserts: %s", r)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete a third, uniformly.
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 2000; i++ {
+		j := rng.Intn(len(live))
+		if !r.Delete(live[j]) {
+			t.Fatalf("Delete(%v) not found", live[j])
+		}
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	if r.Delete(point.P{X: -12345, Score: -1}) {
+		t.Fatal("deleted a point that was never inserted")
+	}
+	qs := gen.Queries(60, 1e6, 0.001, 0.8, 150)
+	qs = append(qs, straddlers(r, 1e6, 150, rng)...)
+	checkQueries(t, r, live, qs)
+}
+
+func TestSkewedInsertsSplitHotShard(t *testing.T) {
+	opt := testOptions(8)
+	r := New(opt)
+	gen := workload.NewGen(13)
+	// Everything lands in one narrow region: the covering shard must
+	// keep splitting until the cap.
+	pts := gen.Uniform(8000, 100.0)
+	for _, p := range pts {
+		r.Insert(p)
+	}
+	if got := r.NumShards(); got < 4 {
+		t.Fatalf("skewed load produced only %d shards: %s", got, r)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	checkQueries(t, r, pts, straddlers(r, 100.0, 100, rng))
+}
+
+func TestRebalancePreservesContents(t *testing.T) {
+	gen := workload.NewGen(15)
+	pts := gen.Clustered(4000, 2, 1e6)
+	r := Bulk(testOptions(8), pts, 2)
+	before := r.TopK(math.Inf(-1), math.Inf(1), len(pts))
+	r.Rebalance(8)
+	if got := r.NumShards(); got != 8 {
+		t.Fatalf("NumShards after Rebalance(8) = %d", got)
+	}
+	after := r.TopK(math.Inf(-1), math.Inf(1), len(pts))
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("Rebalance changed contents")
+	}
+	if r.Len() != len(pts) {
+		t.Fatalf("Len after rebalance = %d, want %d", r.Len(), len(pts))
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(16))
+	checkQueries(t, r, pts, straddlers(r, 1e6, 200, rng))
+
+	// Rebalance with a nonsense target defaults to MaxShards instead of
+	// collapsing the fleet to one shard.
+	r.Rebalance(0)
+	if got := r.NumShards(); got != 8 {
+		t.Fatalf("NumShards after Rebalance(0) = %d, want MaxShards 8", got)
+	}
+}
+
+func TestApplyBatchMatchesSequential(t *testing.T) {
+	gen := workload.NewGen(17)
+	base := gen.Uniform(2000, 1e6)
+	r := Bulk(testOptions(4), base, 4)
+	seq := append([]point.P(nil), base...)
+
+	updates := gen.Mix(1500, 1000, 0.4, 1e6)
+	ops := make([]Op, len(updates))
+	for i, u := range updates {
+		if u.Delete != nil {
+			ops[i] = Op{Delete: true, P: *u.Delete}
+		} else {
+			ops[i] = Op{P: *u.Insert}
+		}
+	}
+	res := r.ApplyBatch(ops)
+	for i, u := range updates {
+		if u.Delete != nil {
+			for j, p := range seq {
+				if p == *u.Delete {
+					seq = append(seq[:j], seq[j+1:]...)
+					break
+				}
+			}
+			if !res[i] {
+				t.Fatalf("op %d: batch delete of live point reported not found", i)
+			}
+		} else {
+			seq = append(seq, *u.Insert)
+			if !res[i] {
+				t.Fatalf("op %d: insert reported false", i)
+			}
+		}
+	}
+	if r.Len() != len(seq) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(seq))
+	}
+	rng := rand.New(rand.NewSource(18))
+	qs := gen.Queries(50, 1e6, 0.001, 0.8, 150)
+	qs = append(qs, straddlers(r, 1e6, 150, rng)...)
+	checkQueries(t, r, seq, qs)
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentBatchesAndQueries is the -race workhorse: writers
+// apply batches over disjoint position bands while readers run TopK,
+// Count and Stats, and a rebalancer re-partitions mid-flight.
+func TestConcurrentBatchesAndQueries(t *testing.T) {
+	const writers = 4
+	r := Bulk(testOptions(8), workload.NewGen(19).Uniform(2000, 1e6), 4)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each writer owns the position band [w, w+1)·1e6/writers and
+			// a disjoint score band, so updates never collide.
+			gen := workload.NewGen(int64(100 + w))
+			lo := float64(w) * 1e6 / writers
+			for round := 0; round < 6; round++ {
+				var ops []Op
+				for _, p := range gen.Uniform(40, 1e6/writers) {
+					ops = append(ops, Op{P: point.P{
+						X:     lo + p.X,
+						Score: float64(w) + p.Score/2, // bands: [w, w+0.5)
+					}})
+				}
+				res := r.ApplyBatch(ops)
+				for i := range res {
+					if !res[i] {
+						t.Error("concurrent insert reported false")
+						return
+					}
+				}
+				// Delete half of what this writer just inserted.
+				var dels []Op
+				for i, op := range ops {
+					if i%2 == 0 {
+						dels = append(dels, Op{Delete: true, P: op.P})
+					}
+				}
+				res = r.ApplyBatch(dels)
+				for i := range res {
+					if !res[i] {
+						t.Error("concurrent delete of own point not found")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + g)))
+			for i := 0; i < 40; i++ {
+				x1 := rng.Float64() * 9e5
+				got := r.TopK(x1, x1+1e5, 20)
+				for j := 1; j < len(got); j++ {
+					if got[j].Score > got[j-1].Score {
+						t.Error("TopK out of order under concurrency")
+						return
+					}
+				}
+				r.Count(x1, x1+2e5)
+				r.Stats()
+				r.Len()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			r.Rebalance(4 + i)
+		}
+	}()
+	wg.Wait()
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAggregationAcrossSplits(t *testing.T) {
+	r := Bulk(testOptions(4), workload.NewGen(21).Uniform(3000, 1e6), 4)
+	s := r.Stats()
+	if s.Writes == 0 || s.BlocksLive == 0 {
+		t.Fatalf("empty aggregate stats after bulk load: %+v", s)
+	}
+	// Rebalancing retires all four disks; transfer history must survive.
+	r.Rebalance(2)
+	s2 := r.Stats()
+	if s2.Writes < s.Writes {
+		t.Fatalf("writes went backwards across rebalance: %d -> %d", s.Writes, s2.Writes)
+	}
+	r.ResetStats()
+	s3 := r.Stats()
+	if s3.Reads != 0 || s3.Writes != 0 {
+		t.Fatalf("ResetStats left transfers: %+v", s3)
+	}
+	if s3.BlocksLive == 0 {
+		t.Fatal("ResetStats dropped space gauges")
+	}
+	r.DropCache()
+	r.TopK(0, 1e6, 50)
+	if r.Stats().Reads == 0 {
+		t.Fatal("cold query charged no reads")
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	r := New(testOptions(4))
+	if got := r.TopK(0, 1, 5); got != nil {
+		t.Fatalf("TopK on empty = %v", got)
+	}
+	if got := r.Count(0, 1); got != 0 {
+		t.Fatalf("Count on empty = %d", got)
+	}
+	r.Insert(point.P{X: 5, Score: 1})
+	if got := r.TopK(10, 0, 5); got != nil {
+		t.Fatalf("inverted range = %v", got)
+	}
+	if got := r.TopK(0, 10, 0); got != nil {
+		t.Fatalf("k=0 = %v", got)
+	}
+	if got := len(r.TopK(math.Inf(-1), math.Inf(1), 10)); got != 1 {
+		t.Fatalf("full-range TopK length = %d", got)
+	}
+	if res := r.ApplyBatch(nil); res != nil {
+		t.Fatalf("empty batch = %v", res)
+	}
+
+	// NaN bounds on a multi-shard router: locate cannot order NaN, so
+	// these must short-circuit instead of crossing the fan-out range.
+	rb := Bulk(testOptions(4), workload.NewGen(29).Uniform(1000, 1e6), 4)
+	nan := math.NaN()
+	for _, q := range [][2]float64{{nan, 50}, {50, nan}, {nan, nan}} {
+		if got := rb.TopK(q[0], q[1], 5); got != nil {
+			t.Fatalf("TopK(%v,%v) = %v", q[0], q[1], got)
+		}
+		if got := rb.Count(q[0], q[1]); got != 0 {
+			t.Fatalf("Count(%v,%v) = %d", q[0], q[1], got)
+		}
+	}
+}
+
+// TestPanicDoesNotWedgeRouter: a contract violation (duplicate
+// position) panics out of the underlying structures. The panic must
+// reach the caller, and — critically for a serving layer — every lock
+// must be released on the way out so the router keeps serving.
+func TestPanicDoesNotWedgeRouter(t *testing.T) {
+	r := Bulk(testOptions(4), workload.NewGen(23).Uniform(1000, 1e6), 4)
+	dup := r.TopK(math.Inf(-1), math.Inf(1), 1)[0]
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic on duplicate position", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Insert", func() { r.Insert(point.P{X: dup.X, Score: 123456}) })
+	// A batch insert at an occupied position is rejected, not panicked.
+	if res := r.ApplyBatch([]Op{{P: point.P{X: dup.X, Score: 654321}}}); res[0] {
+		t.Fatal("batch insert at occupied position reported true")
+	}
+	if got := r.Len(); got != 1000 {
+		t.Fatalf("Len after rejected duplicates = %d, want 1000", got)
+	}
+
+	// The router must still serve every shard: full-range query, point
+	// update, and batch all succeed afterwards.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if got := r.Count(math.Inf(-1), math.Inf(1)); got < 1000 {
+			t.Errorf("Count after panic = %d", got)
+		}
+		r.Insert(point.P{X: -1, Score: -1})
+		if !r.Delete(point.P{X: -1, Score: -1}) {
+			t.Error("Delete after panic")
+		}
+		res := r.ApplyBatch([]Op{{P: point.P{X: -2, Score: -2}}})
+		if len(res) != 1 || !res[0] {
+			t.Error("ApplyBatch after panic")
+		}
+		r.Rebalance(2) // needs the write lock: fails if a read lock leaked
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("router wedged after panic (leaked lock)")
+	}
+}
+
+func TestMergeTopKOrder(t *testing.T) {
+	lists := [][]point.P{
+		{{X: 1, Score: 9}, {X: 2, Score: 5}, {X: 3, Score: 1}},
+		{{X: 4, Score: 8}, {X: 5, Score: 7}, {X: 6, Score: 6}},
+		nil,
+		{{X: 7, Score: 10}},
+	}
+	got := mergeTopK(lists, 5)
+	want := []point.P{{X: 7, Score: 10}, {X: 1, Score: 9}, {X: 4, Score: 8}, {X: 5, Score: 7}, {X: 6, Score: 6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mergeTopK = %v, want %v", got, want)
+	}
+	if got := mergeTopK([][]point.P{nil, nil}, 3); got != nil {
+		t.Fatalf("all-empty merge = %v", got)
+	}
+}

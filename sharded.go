@@ -1,0 +1,146 @@
+package topk
+
+import (
+	"repro/internal/em"
+	"repro/internal/point"
+	"repro/internal/shard"
+)
+
+// ShardedConfig configures a Sharded index. The embedded Config
+// applies to every shard's EM machine and Theorem 1 structure.
+type ShardedConfig struct {
+	Config
+	// Shards caps the shard count (default 8). NewSharded starts from
+	// one shard and splits as skew develops; LoadSharded pre-partitions
+	// into this many quantile shards.
+	Shards int
+	// Skew is the split trigger: a shard splits when it holds more than
+	// Skew times its fair share of the live set (default 2.0).
+	Skew float64
+	// MinSplit is the smallest shard eligible for splitting (default
+	// 512), keeping small indexes on a single machine.
+	MinSplit int
+}
+
+func (cfg ShardedConfig) options() shard.Options {
+	if cfg.ForcePolylog && cfg.ForceBaseline {
+		panic("topk: ForcePolylog and ForceBaseline are mutually exclusive")
+	}
+	return shard.Options{
+		Disk:       em.Config{B: cfg.BlockWords, M: cfg.MemoryWords},
+		Core:       coreOptions(cfg.Config),
+		MaxShards:  cfg.Shards,
+		SkewFactor: cfg.Skew,
+		MinSplit:   cfg.MinSplit,
+	}
+}
+
+// Sharded is a concurrent top-k index: a position-range-partitioned
+// router over independent Index-equivalent shards, each a complete
+// sequential EM machine with its own simulated disk. Unlike Index, a
+// Sharded is safe for concurrent use — queries and updates on
+// different shards proceed in parallel, and queries that straddle
+// shard boundaries fan out and heap-merge, returning exactly what a
+// single Index would. See internal/shard and DESIGN.md for the
+// architecture.
+type Sharded struct {
+	r *shard.Router
+}
+
+// NewSharded returns an empty Sharded index with one shard; shards
+// split automatically as data arrives.
+func NewSharded(cfg ShardedConfig) *Sharded {
+	return &Sharded{r: shard.New(cfg.options())}
+}
+
+// LoadSharded returns a Sharded index bulk-loaded with pts,
+// pre-partitioned into cfg.Shards equal quantile shards.
+func LoadSharded(cfg ShardedConfig, pts []Result) *Sharded {
+	opt := cfg.options()
+	ps := make([]point.P, len(pts))
+	for i, r := range pts {
+		ps[i] = point.P{X: r.X, Score: r.Score}
+	}
+	return &Sharded{r: shard.Bulk(opt, ps, opt.MaxShards)}
+}
+
+// Len returns the number of points currently stored.
+func (s *Sharded) Len() int { return s.r.Len() }
+
+// NumShards returns the current number of shards.
+func (s *Sharded) NumShards() int { return s.r.NumShards() }
+
+// Insert adds the point (pos, score). Positions and scores must be
+// distinct across the live set, as for Index; inserting at an
+// occupied position panics before anything is mutated, so the index
+// stays consistent (recover and carry on, or pre-check with Count).
+func (s *Sharded) Insert(pos, score float64) {
+	s.r.Insert(point.P{X: pos, Score: score})
+}
+
+// Delete removes the point (pos, score), reporting whether it was
+// present.
+func (s *Sharded) Delete(pos, score float64) bool {
+	return s.r.Delete(point.P{X: pos, Score: score})
+}
+
+// TopK returns the k highest-scoring points with position in [x1, x2]
+// in descending score order — the same answer, in the same order, as
+// Index.TopK on the same point set.
+func (s *Sharded) TopK(x1, x2 float64, k int) []Result {
+	pts := s.r.TopK(x1, x2, k)
+	out := make([]Result, len(pts))
+	for i, p := range pts {
+		out[i] = Result{X: p.X, Score: p.Score}
+	}
+	return out
+}
+
+// Count returns the number of stored points with position in [x1, x2].
+func (s *Sharded) Count(x1, x2 float64) int { return s.r.Count(x1, x2) }
+
+// BatchOp is one operation of an ApplyBatch call: an insert of
+// (X, Score), or a delete when Delete is set.
+type BatchOp struct {
+	Delete   bool
+	X, Score float64
+}
+
+// ApplyBatch applies the operations as one concurrent batch: ops are
+// grouped by target shard, each shard is locked once, and groups run
+// in parallel. Within a shard, batch order is preserved; ops on
+// different shards commute (disjoint position ranges), so the batch is
+// equivalent to some sequential interleaving. Returns, per op, whether
+// it took effect: presence for deletes; for inserts, whether the
+// position was free (an insert at an occupied position is rejected
+// with false rather than violating the set contract).
+func (s *Sharded) ApplyBatch(ops []BatchOp) []bool {
+	sops := make([]shard.Op, len(ops))
+	for i, op := range ops {
+		sops[i] = shard.Op{Delete: op.Delete, P: point.P{X: op.X, Score: op.Score}}
+	}
+	return s.r.ApplyBatch(sops)
+}
+
+// Rebalance re-partitions into up to target equal quantile shards,
+// preserving contents exactly. Useful after a heavily skewed delete
+// phase; inserts rebalance automatically via splitting.
+func (s *Sharded) Rebalance(target int) { s.r.Rebalance(target) }
+
+// Stats aggregates the I/O meters of every shard's disk (plus disks
+// retired by splits and rebalances). BlocksPeak sums per-shard peaks,
+// an upper bound on the simultaneous peak across the shard fleet.
+func (s *Sharded) Stats() Stats {
+	st := s.r.Stats()
+	return Stats{Reads: st.Reads, Writes: st.Writes, BlocksLive: st.BlocksLive, BlocksPeak: st.BlocksPeak}
+}
+
+// ResetStats zeroes the aggregated read/write counters.
+func (s *Sharded) ResetStats() { s.r.ResetStats() }
+
+// DropCache evicts every shard's buffer pool so the next operations
+// run cold.
+func (s *Sharded) DropCache() { s.r.DropCache() }
+
+// String summarizes the router topology.
+func (s *Sharded) String() string { return s.r.String() }

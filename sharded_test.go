@@ -1,0 +1,175 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func testShardedConfig(shards int) ShardedConfig {
+	return ShardedConfig{
+		Config:   Config{ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048},
+		Shards:   shards,
+		MinSplit: 256,
+	}
+}
+
+// TestShardedMatchesIndex is the acceptance test: on identical point
+// sets, Sharded must return byte-identical results to a single Index
+// for randomized queries, including boundary-straddling ones, under
+// interleaved updates.
+func TestShardedMatchesIndex(t *testing.T) {
+	for _, shards := range []int{1, 3, 8} {
+		gen := workload.NewGen(int64(40 + shards))
+		pts := make([]Result, 0, 3000)
+		for _, p := range gen.Uniform(3000, 1e6) {
+			pts = append(pts, Result{X: p.X, Score: p.Score})
+		}
+		single := Load(Config{ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048}, pts)
+		sharded := LoadSharded(testShardedConfig(shards), pts)
+
+		check := func(x1, x2 float64, k int) {
+			t.Helper()
+			got := sharded.TopK(x1, x2, k)
+			want := single.TopK(x1, x2, k)
+			if len(got) == 0 && len(want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d TopK(%v,%v,%d):\n got %v\nwant %v", shards, x1, x2, k, got, want)
+			}
+			if gc, wc := sharded.Count(x1, x2), single.Count(x1, x2); gc != wc {
+				t.Fatalf("shards=%d Count(%v,%v): got %d want %d", shards, x1, x2, gc, wc)
+			}
+		}
+
+		for _, q := range gen.Queries(80, 1e6, 0.001, 0.9, 250) {
+			check(q.X1, q.X2, q.K)
+		}
+		check(math.Inf(-1), math.Inf(1), 3000)
+
+		// Interleave updates through both and re-check.
+		for _, u := range gen.Mix(800, 600, 0.4, 1e6) {
+			if u.Delete != nil {
+				sok := single.Delete(u.Delete.X, u.Delete.Score)
+				dok := sharded.Delete(u.Delete.X, u.Delete.Score)
+				if sok != dok {
+					t.Fatalf("Delete divergence: single=%v sharded=%v", sok, dok)
+				}
+			} else {
+				single.Insert(u.Insert.X, u.Insert.Score)
+				sharded.Insert(u.Insert.X, u.Insert.Score)
+			}
+		}
+		if single.Len() != sharded.Len() {
+			t.Fatalf("Len divergence: %d vs %d", single.Len(), sharded.Len())
+		}
+		for _, q := range gen.Queries(60, 1e6, 0.001, 0.8, 200) {
+			check(q.X1, q.X2, q.K)
+		}
+	}
+}
+
+func TestShardedApplyBatchAndConcurrentReads(t *testing.T) {
+	idx := NewSharded(testShardedConfig(8))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := workload.NewGen(int64(w + 1))
+			// Disjoint position and score bands per writer.
+			for round := 0; round < 4; round++ {
+				ops := make([]BatchOp, 0, 50)
+				for _, p := range gen.Uniform(50, 1000) {
+					ops = append(ops, BatchOp{X: float64(w)*1000 + p.X, Score: float64(w) + p.Score/2})
+				}
+				for i, ok := range idx.ApplyBatch(ops) {
+					if !ok {
+						t.Errorf("batch insert %d reported false", i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 50)))
+			for i := 0; i < 30; i++ {
+				x1 := rng.Float64() * 3500
+				res := idx.TopK(x1, x1+500, 10)
+				for j := 1; j < len(res); j++ {
+					if res[j].Score > res[j-1].Score {
+						t.Error("descending order violated under concurrency")
+						return
+					}
+				}
+				idx.Count(x1, x1+500)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := idx.Len(), 4*4*50; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
+// TestLoadShardedDefaults: a zero ShardedConfig must honor the
+// documented defaults — LoadSharded pre-partitions into 8 quantile
+// shards, not a single serialized one.
+func TestLoadShardedDefaults(t *testing.T) {
+	gen := workload.NewGen(31)
+	pts := make([]Result, 0, 4000)
+	for _, p := range gen.Uniform(4000, 1e6) {
+		pts = append(pts, Result{X: p.X, Score: p.Score})
+	}
+	idx := LoadSharded(ShardedConfig{
+		Config: Config{ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048},
+	}, pts)
+	if got := idx.NumShards(); got != 8 {
+		t.Fatalf("NumShards with zero config = %d, want the default 8", got)
+	}
+	if idx.Len() != len(pts) {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+}
+
+func TestShardedStatsAndRebalance(t *testing.T) {
+	gen := workload.NewGen(9)
+	pts := make([]Result, 0, 2000)
+	for _, p := range gen.Clustered(2000, 3, 1e6) {
+		pts = append(pts, Result{X: p.X, Score: p.Score})
+	}
+	idx := LoadSharded(testShardedConfig(4), pts)
+	if idx.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", idx.NumShards())
+	}
+	if s := idx.Stats(); s.Writes == 0 || s.BlocksLive == 0 {
+		t.Fatalf("implausible stats after load: %+v", s)
+	}
+	before := idx.TopK(math.Inf(-1), math.Inf(1), len(pts))
+	idx.Rebalance(2)
+	if idx.NumShards() != 2 {
+		t.Fatalf("NumShards after Rebalance(2) = %d", idx.NumShards())
+	}
+	after := idx.TopK(math.Inf(-1), math.Inf(1), len(pts))
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("Rebalance changed contents")
+	}
+	idx.ResetStats()
+	idx.DropCache()
+	idx.TopK(0, 1e6, 20)
+	if idx.Stats().Reads == 0 {
+		t.Fatal("cold query charged no reads")
+	}
+	if idx.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -26,6 +26,12 @@
 // through an LRU buffer pool exactly as the Aggarwal–Vitter model
 // prescribes, and Stats exposes the meter so applications and the
 // experiment harness can observe block transfers directly.
+//
+// An Index is a single sequential EM machine. For concurrent serving,
+// Sharded range-partitions the line across several independent EM
+// machines, fans queries out in parallel and heap-merges the answers,
+// returning exactly what a single Index would; cmd/topkd serves it
+// over HTTP. See DESIGN.md for the architecture.
 package topk
 
 import (
@@ -66,7 +72,9 @@ type Result struct {
 }
 
 // Index is a dynamic top-k range reporting index. Create with New; an
-// Index is not safe for concurrent use (the EM model is sequential).
+// Index is not safe for concurrent use (the EM model is sequential —
+// even queries mutate the buffer pool's LRU state). Use Sharded for
+// concurrent serving.
 type Index struct {
 	disk *em.Disk
 	ix   *core.Index
