@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
 
 	"repro/internal/aurs"
 	"repro/internal/core"
@@ -389,7 +390,7 @@ func BenchmarkShardedTopK(b *testing.B) {
 	// fanning out to (and briefly locking) the whole fleet.
 	queries := gen.Queries(256, 1e6, 0.0005, 0.02, 64)
 	for _, shards := range []int{1, 4, 8} {
-		idx := LoadSharded(ShardedConfig{
+		idx := mustLoadSharded(b, ShardedConfig{
 			Config: Config{BlockWords: benchB, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048},
 			Shards: shards,
 		}, pts)
@@ -401,6 +402,75 @@ func BenchmarkShardedTopK(b *testing.B) {
 				b.ReportMetric(res.QPS(), "qps")
 			})
 		}
+	}
+}
+
+// benchStores builds both Store backends over the same load for the
+// batch-path benchmarks.
+func benchStores(b *testing.B, n int) map[string]Store {
+	pts := toResults(workload.NewGen(23).Uniform(n, 1e6))
+	return map[string]Store{
+		"index": mustLoad(b, Config{BlockWords: benchB, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048}, pts),
+		"sharded": mustLoadSharded(b, ShardedConfig{
+			Config: Config{BlockWords: benchB, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048},
+			Shards: 8,
+		}, pts),
+	}
+}
+
+// BenchmarkQueryBatch: the batched read path on both backends — one
+// op is a 16-query batch; qps counts individual queries. On Sharded
+// this is the single-topology-lock fan-out the v1 API added; compare
+// with BenchmarkShardedTopK's per-query numbers. CI runs this with
+// -benchtime=1x as a smoke test so the batch path cannot silently
+// rot.
+func BenchmarkQueryBatch(b *testing.B) {
+	const batch = 16
+	gen := workload.NewGen(24)
+	specs := gen.Queries(256, 1e6, 0.0005, 0.02, 64)
+	qs := make([]Query, len(specs))
+	for i, q := range specs {
+		qs[i] = Query{X1: q.X1, X2: q.X2, K: q.K}
+	}
+	for name, st := range benchStores(b, 1<<14) {
+		b.Run(name, func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				lo := (i * batch) % (len(qs) - batch)
+				st.QueryBatch(qs[lo : lo+batch])
+			}
+			b.ReportMetric(float64(b.N*batch)/time.Since(start).Seconds(), "qps")
+		})
+	}
+}
+
+// BenchmarkApplyBatch: the batched write path on both backends — one
+// op is a 64-op mixed insert/delete batch (each batch deletes what it
+// inserted, keeping the index at steady state).
+func BenchmarkApplyBatch(b *testing.B) {
+	const batch = 64
+	for name, st := range benchStores(b, 1<<13) {
+		b.Run(name, func(b *testing.B) {
+			gen := workload.NewGen(25)
+			ins := make([]BatchOp, batch)
+			del := make([]BatchOp, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Fresh points per round, far outside the preload domain
+				// so they never collide with it.
+				for j, p := range gen.Uniform(batch, 1e6) {
+					ins[j] = BatchOp{X: 2e6 + p.X, Score: 2 + p.Score}
+					del[j] = BatchOp{Delete: true, X: 2e6 + p.X, Score: 2 + p.Score}
+				}
+				for _, errs := range [][]error{st.ApplyBatch(ins), st.ApplyBatch(del)} {
+					for _, err := range errs {
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	topk "repro"
 	"repro/internal/aurs"
 	"repro/internal/core"
 	"repro/internal/em"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/sketch"
 	"repro/internal/verify"
 	"repro/internal/workload"
+	"repro/internal/workload/driver"
 )
 
 func logB(n, b int) float64 {
@@ -596,4 +598,49 @@ func e13(quick bool) {
 				n, k, tr.Comparisons/reps, lg2(n)+float64(k))
 		}
 	}
+}
+
+// ---------------------------------------------------------------- E15
+
+// e15 measures the serving layer through the public topk.Store
+// interface (API v1): query throughput of per-call TopK vs the
+// batched QueryBatch fan-out, per backend and goroutine count. The
+// batch path amortizes the topology lock and goroutine setup, which
+// is where its advantage over a loop of TopK calls comes from.
+func e15(quick bool) {
+	n := 1 << 15
+	ops := 20000
+	if quick {
+		n = 1 << 13
+		ops = 4000
+	}
+	gen := workload.NewGen(51)
+	pts := make([]topk.Result, 0, n)
+	for _, p := range gen.Uniform(n, 1e6) {
+		pts = append(pts, topk.Result{X: p.X, Score: p.Score})
+	}
+	cfg := topk.Config{BlockWords: 64, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048}
+	sharded, err := topk.LoadSharded(topk.ShardedConfig{Config: cfg, Shards: 8}, pts)
+	if err != nil {
+		panic(err)
+	}
+	queries := gen.Queries(256, 1e6, 0.0005, 0.02, 64)
+	fmt.Printf("%22s %6s %12s\n", "mode", "g", "qps")
+	for _, g := range []int{1, 4, 16} {
+		var st topk.Store = sharded
+		perCall := workload.RunConcurrent(g, ops, queries, func(q workload.QuerySpec) {
+			st.TopK(q.X1, q.X2, q.K)
+		})
+		fmt.Printf("%22s %6d %12.0f\n", "sharded TopK", g, perCall.QPS())
+		batched := driver.RunBatched(st, g, ops, 16, queries)
+		fmt.Printf("%22s %6d %12.0f\n", "sharded QueryBatch/16", g, batched.QPS())
+	}
+	// The sequential backend as the single-machine baseline (one
+	// goroutine: an Index is not concurrency-safe).
+	single, err := topk.Load(cfg, pts)
+	if err != nil {
+		panic(err)
+	}
+	res := driver.RunBatched(single, 1, ops, 16, queries)
+	fmt.Printf("%22s %6d %12.0f\n", "index QueryBatch/16", 1, res.QPS())
 }

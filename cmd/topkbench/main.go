@@ -40,6 +40,7 @@ var experiments = []experiment{
 	{"e12", "Figures 1–2: T̂ concatenation and heap concatenation", e12},
 	{"e13", "§1.1 RAM baseline: comparisons scale as lg n + k", e13},
 	{"e14", "Ablations: pool size, φ, adaptive selection, sketch base", e14},
+	{"e15", "Serving layer (Store v1): TopK vs QueryBatch throughput", e15},
 }
 
 func main() {

@@ -29,10 +29,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
-	idx := topk.New(topk.Config{BlockWords: *b, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
+	idx, err := topk.New(topk.Config{BlockWords: *b, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	gen := workload.NewGen(*seed)
 	for _, p := range gen.Uniform(*n, 1e6) {
-		idx.Insert(p.X, p.Score)
+		if err := idx.Insert(p.X, p.Score); err != nil {
+			fmt.Fprintf(os.Stderr, "preload: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("loaded %d points (B=%d, k-threshold %d, %s)\n",
 		idx.Len(), idx.BlockSize(), idx.KThreshold(), idx.Regime())
@@ -87,10 +94,10 @@ func main() {
 				fmt.Println("usage: insert x score")
 				continue
 			}
-			if insertSafe(idx, args[0], args[1]) {
-				fmt.Println("ok")
+			if err := idx.Insert(args[0], args[1]); err != nil {
+				fmt.Printf("rejected: %v\n", err)
 			} else {
-				fmt.Println("rejected: duplicate position or score")
+				fmt.Println("ok")
 			}
 		case "delete":
 			args, err := floats(fields[1:], 2)
@@ -118,14 +125,4 @@ func floats(fields []string, want int) ([]float64, error) {
 		out[i] = v
 	}
 	return out, nil
-}
-
-func insertSafe(idx *topk.Index, x, score float64) (ok bool) {
-	defer func() {
-		if recover() != nil {
-			ok = false
-		}
-	}()
-	idx.Insert(x, score)
-	return true
 }

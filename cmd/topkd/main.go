@@ -1,24 +1,39 @@
-// Command topkd serves a topk.Sharded index over HTTP/JSON — the
-// minimal network face of the concurrent serving layer. Handlers call
-// straight into the Sharded router, which is safe for concurrent use,
-// so the server needs no locking of its own; net/http's per-connection
-// goroutines become the router's query/update concurrency.
+// Command topkd serves a topk.Store over HTTP/JSON — the network face
+// of the serving stack. Handlers are written purely against the
+// topk.Store interface, so the backend is a startup flag: the default
+// concurrent Sharded router (net/http's per-connection goroutines
+// become router concurrency, no extra locking), or a single
+// sequential Index guarded by one mutex for comparison runs.
+//
+// The API is versioned under /v1; the unversioned paths from the
+// first release are kept as thin aliases of the same handlers.
 //
 //	$ topkd -addr :8080 -shards 8 -n 100000
-//	$ curl -s 'localhost:8080/topk?x1=100&x2=200&k=3'
-//	$ curl -s -X POST localhost:8080/insert -d '{"x":150.5,"score":9.9}'
-//	$ curl -s -X POST localhost:8080/delete -d '{"x":150.5,"score":9.9}'
-//	$ curl -s 'localhost:8080/count?x1=0&x2=1000'
-//	$ curl -s localhost:8080/stats
+//	$ curl -s 'localhost:8080/v1/topk?x1=100&x2=200&k=3'
+//	$ curl -s -X POST localhost:8080/v1/insert -d '{"x":150.5,"score":9.9}'
+//	$ curl -s -X POST localhost:8080/v1/delete -d '{"x":150.5,"score":9.9}'
+//	$ curl -s -X POST localhost:8080/v1/batch -d '{"ops":[
+//	      {"op":"insert","x":1.5,"score":7.25},
+//	      {"op":"delete","x":150.5,"score":9.9},
+//	      {"op":"query","x1":0,"x2":100,"k":5}]}'
+//	$ curl -s 'localhost:8080/v1/count?x1=0&x2=1000'
+//	$ curl -s localhost:8080/v1/stats
+//
+// Errors are structured: {"error":{"code":"duplicate_position",
+// "message":"..."}} with the code derived from the topk sentinel
+// errors (duplicate_position and duplicate_score map to 409,
+// invalid_point and malformed requests to 400).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"strconv"
+	"sync"
 
 	topk "repro"
 	"repro/internal/workload"
@@ -26,31 +41,114 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	shards := flag.Int("shards", 8, "maximum shard count")
+	backend := flag.String("backend", "sharded", "index backend: sharded | single")
+	shards := flag.Int("shards", 8, "maximum shard count (sharded backend)")
 	b := flag.Int("B", 64, "block size in words per shard disk")
+	m := flag.Int("M", 0, "buffer-pool words (fleet total when sharded; 0 = default)")
 	n := flag.Int("n", 0, "synthetic points to preload")
 	seed := flag.Int64("seed", 1, "preload workload seed")
+	forcePolylog := flag.Bool("force-polylog", true, "pin the §3.3 small-k component instead of the automatic regime test")
+	polylogF := flag.Int("polylog-f", 8, "§3.3 tree fanout f (0 = the paper's √(B·lg n))")
+	polylogLeafCap := flag.Int("polylog-leaf-cap", 2048, "§3.3 leaf capacity (0 = the paper's f·l·B)")
 	flag.Parse()
 
 	cfg := topk.ShardedConfig{
-		Config: topk.Config{BlockWords: *b, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048},
+		Config: topk.Config{
+			BlockWords:     *b,
+			MemoryWords:    *m,
+			ForcePolylog:   *forcePolylog,
+			PolylogF:       *polylogF,
+			PolylogLeafCap: *polylogLeafCap,
+		},
 		Shards: *shards,
 	}
-	var idx *topk.Sharded
+	var pts []topk.Result
 	if *n > 0 {
-		pts := make([]topk.Result, 0, *n)
+		pts = make([]topk.Result, 0, *n)
 		for _, p := range workload.NewGen(*seed).Uniform(*n, 1e6) {
 			pts = append(pts, topk.Result{X: p.X, Score: p.Score})
 		}
-		idx = topk.LoadSharded(cfg, pts)
-	} else {
-		idx = topk.NewSharded(cfg)
 	}
-	log.Printf("topkd: serving %s on %s", idx, *addr)
-	log.Fatal(http.ListenAndServe(*addr, newServer(idx)))
+	st, err := newStore(*backend, cfg, pts)
+	if err != nil {
+		log.Fatalf("topkd: %v", err)
+	}
+	log.Printf("topkd: serving %s backend (n=%d) on %s", *backend, st.Len(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, newServer(st)))
 }
 
-// pointReq is the body of /insert and /delete.
+// newStore builds the chosen backend behind the Store interface.
+func newStore(backend string, cfg topk.ShardedConfig, pts []topk.Result) (topk.Store, error) {
+	switch backend {
+	case "sharded":
+		if len(pts) > 0 {
+			return topk.LoadSharded(cfg, pts)
+		}
+		return topk.NewSharded(cfg)
+	case "single":
+		var idx *topk.Index
+		var err error
+		if len(pts) > 0 {
+			idx, err = topk.Load(cfg.Config, pts)
+		} else {
+			idx, err = topk.New(cfg.Config)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// An Index is one sequential EM machine; one mutex turns it
+		// into a (serialized) Store for comparison runs.
+		return &lockedStore{idx: idx}, nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want sharded or single)", backend)
+	}
+}
+
+// lockedStore serializes a sequential *Index behind the Store
+// interface. It exists so -backend single can answer concurrent HTTP
+// traffic correctly (if slowly) — the measured argument for the
+// sharded backend.
+type lockedStore struct {
+	mu  sync.Mutex
+	idx *topk.Index
+}
+
+func (l *lockedStore) Len() int { l.mu.Lock(); defer l.mu.Unlock(); return l.idx.Len() }
+func (l *lockedStore) Insert(pos, score float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.Insert(pos, score)
+}
+func (l *lockedStore) Delete(pos, score float64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.Delete(pos, score)
+}
+func (l *lockedStore) ApplyBatch(ops []topk.BatchOp) []error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.ApplyBatch(ops)
+}
+func (l *lockedStore) TopK(x1, x2 float64, k int) []topk.Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.TopK(x1, x2, k)
+}
+func (l *lockedStore) QueryBatch(qs []topk.Query) [][]topk.Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.QueryBatch(qs)
+}
+func (l *lockedStore) Count(x1, x2 float64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.Count(x1, x2)
+}
+func (l *lockedStore) Stats() topk.Stats { l.mu.Lock(); defer l.mu.Unlock(); return l.idx.Stats() }
+func (l *lockedStore) ResetStats()       { l.mu.Lock(); defer l.mu.Unlock(); l.idx.ResetStats() }
+func (l *lockedStore) DropCache()        { l.mu.Lock(); defer l.mu.Unlock(); l.idx.DropCache() }
+
+// pointReq is the body of /v1/insert and /v1/delete.
 type pointReq struct {
 	X     float64 `json:"x"`
 	Score float64 `json:"score"`
@@ -62,98 +160,196 @@ type resultJSON struct {
 	Score float64 `json:"score"`
 }
 
-// newServer returns the topkd handler tree over idx.
-func newServer(idx *topk.Sharded) http.Handler {
+func toJSON(res []topk.Result) []resultJSON {
+	out := make([]resultJSON, len(res))
+	for i, p := range res {
+		out[i] = resultJSON{X: p.X, Score: p.Score}
+	}
+	return out
+}
+
+// batchOp is one element of a /v1/batch request: op is "insert",
+// "delete" (x, score) or "query" (x1, x2, k).
+type batchOp struct {
+	Op    string  `json:"op"`
+	X     float64 `json:"x"`
+	Score float64 `json:"score"`
+	X1    float64 `json:"x1"`
+	X2    float64 `json:"x2"`
+	K     int     `json:"k"`
+}
+
+// batchItem is one element of a /v1/batch response, aligned with the
+// request ops. Updates carry ok (+error when rejected); queries carry
+// their results.
+type batchItem struct {
+	OK      bool         `json:"ok"`
+	Error   *errJSON     `json:"error,omitempty"`
+	Results []resultJSON `json:"results,omitempty"`
+}
+
+// newServer returns the topkd handler tree over st. Handlers use only
+// the topk.Store interface; Sharded-specific introspection (shard
+// count in /v1/stats) is probed through an optional interface.
+func newServer(st topk.Store) http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("POST /insert", func(w http.ResponseWriter, r *http.Request) {
+	// handle registers h under /v1/pattern and, as a compatibility
+	// alias, under the unversioned path of the first release.
+	handle := func(method, pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+pattern, h)
+		mux.HandleFunc(method+" "+pattern, h)
+	}
+
+	handle("POST", "/insert", func(w http.ResponseWriter, r *http.Request) {
 		var req pointReq
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad json: %v", err)
+			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
 			return
 		}
-		// The index's contract is a set: distinct positions (and
-		// scores). A single-op batch is the atomic check-and-insert —
-		// it rejects an occupied position under the shard lock instead
-		// of panicking, so concurrent duplicates race to one 200 and
-		// one 409. (A duplicate *score* is not detected: on the same
-		// shard it surfaces as a structure panic → 500 via withRecover;
-		// across shards it is accepted and violates the distinct-score
-		// contract — callers own score uniqueness, as with topk.Index.)
-		if ok := idx.ApplyBatch([]topk.BatchOp{{X: req.X, Score: req.Score}}); !ok[0] {
-			httpError(w, http.StatusConflict, "position %v already present", req.X)
+		// Insert is atomic check-and-insert under the shard lock, so
+		// concurrent duplicates race to one 200 and one 409 — and a
+		// duplicate score anywhere in the fleet is a 409 too.
+		if err := st.Insert(req.X, req.Score); err != nil {
+			writeErr(w, err)
 			return
 		}
-		writeJSON(w, map[string]any{"ok": true, "n": idx.Len()})
+		writeJSON(w, map[string]any{"ok": true, "n": st.Len()})
 	})
 
-	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/delete", func(w http.ResponseWriter, r *http.Request) {
 		var req pointReq
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad json: %v", err)
+			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
 			return
 		}
-		found := idx.Delete(req.X, req.Score)
-		writeJSON(w, map[string]any{"found": found, "n": idx.Len()})
+		found := st.Delete(req.X, req.Score)
+		writeJSON(w, map[string]any{"found": found, "n": st.Len()})
 	})
 
-	mux.HandleFunc("GET /topk", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Ops []batchOp `json:"ops"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
+			return
+		}
+		items, err := runBatch(st, req.Ops)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "%v", err)
+			return
+		}
+		writeJSON(w, map[string]any{"results": items, "n": st.Len()})
+	})
+
+	handle("GET", "/topk", func(w http.ResponseWriter, r *http.Request) {
 		x1, err1 := queryFloat(r, "x1")
 		x2, err2 := queryFloat(r, "x2")
 		k, err3 := queryInt(r, "k")
 		if err1 != nil || err2 != nil || err3 != nil {
-			httpError(w, http.StatusBadRequest, "need float x1, x2 and int k")
+			httpError(w, http.StatusBadRequest, "bad_request", "need float x1, x2 and int k")
 			return
 		}
-		// Clamp k to the live size: k > n returns everything anyway,
-		// and the selection paths preallocate k-sized buffers, so an
-		// absurd client k must not size an allocation.
-		if n := idx.Len(); k > n {
-			k = n
-		}
-		res := idx.TopK(x1, x2, k)
-		out := make([]resultJSON, len(res))
-		for i, p := range res {
-			out[i] = resultJSON{X: p.X, Score: p.Score}
-		}
-		writeJSON(w, map[string]any{"results": out})
+		writeJSON(w, map[string]any{"results": toJSON(st.TopK(x1, x2, clampK(st, k)))})
 	})
 
-	mux.HandleFunc("GET /count", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/count", func(w http.ResponseWriter, r *http.Request) {
 		x1, err1 := queryFloat(r, "x1")
 		x2, err2 := queryFloat(r, "x2")
 		if err1 != nil || err2 != nil {
-			httpError(w, http.StatusBadRequest, "need float x1 and x2")
+			httpError(w, http.StatusBadRequest, "bad_request", "need float x1 and x2")
 			return
 		}
-		writeJSON(w, map[string]any{"count": idx.Count(x1, x2)})
+		writeJSON(w, map[string]any{"count": st.Count(x1, x2)})
 	})
 
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		s := idx.Stats()
-		writeJSON(w, map[string]any{
-			"n":           idx.Len(),
-			"shards":      idx.NumShards(),
+	handle("GET", "/stats", func(w http.ResponseWriter, r *http.Request) {
+		s := st.Stats()
+		out := map[string]any{
+			"n":           st.Len(),
 			"reads":       s.Reads,
 			"writes":      s.Writes,
 			"blocks_live": s.BlocksLive,
 			"blocks_peak": s.BlocksPeak,
-		})
+		}
+		if sh, ok := st.(interface{ NumShards() int }); ok {
+			out["shards"] = sh.NumShards()
+		}
+		writeJSON(w, out)
 	})
 
 	return withRecover(mux)
 }
 
-// withRecover turns handler panics into JSON 500s. The router releases
-// its locks on panic (internal/shard unlocks with defer), so one
-// contract-violating request cannot wedge the fleet; without this
-// middleware net/http would just sever the connection.
+// runBatch executes a mixed /v1/batch payload: the update ops run
+// first as one ApplyBatch, then the query ops as one QueryBatch, and
+// the per-op outcomes are stitched back into request order. Queries
+// therefore observe every update of their own batch (on Sharded, the
+// documented caveat applies within the update half: an insert reusing
+// a score deleted on another shard in the same batch may lose the
+// race and be rejected).
+func runBatch(st topk.Store, ops []batchOp) ([]batchItem, error) {
+	updates := make([]topk.BatchOp, 0, len(ops))
+	updateAt := make([]int, 0, len(ops))
+	queries := make([]topk.Query, 0)
+	queryAt := make([]int, 0)
+	for i, op := range ops {
+		switch op.Op {
+		case "insert":
+			updates = append(updates, topk.BatchOp{X: op.X, Score: op.Score})
+			updateAt = append(updateAt, i)
+		case "delete":
+			updates = append(updates, topk.BatchOp{Delete: true, X: op.X, Score: op.Score})
+			updateAt = append(updateAt, i)
+		case "query":
+			queries = append(queries, topk.Query{X1: op.X1, X2: op.X2, K: op.K})
+			queryAt = append(queryAt, i)
+		default:
+			return nil, fmt.Errorf("op %d: unknown op %q (want insert, delete or query)", i, op.Op)
+		}
+	}
+	items := make([]batchItem, len(ops))
+	for j, err := range st.ApplyBatch(updates) {
+		if err != nil {
+			items[updateAt[j]] = batchItem{Error: toErrJSON(err)}
+		} else {
+			items[updateAt[j]] = batchItem{OK: true}
+		}
+	}
+	// Clamp k only now: the batch's own inserts may have grown the
+	// live set the queries are about to observe.
+	for j := range queries {
+		queries[j].K = clampK(st, queries[j].K)
+	}
+	for j, res := range st.QueryBatch(queries) {
+		items[queryAt[j]] = batchItem{OK: true, Results: toJSON(res)}
+	}
+	return items, nil
+}
+
+// clampK caps a client k at the live size: k > n returns everything
+// anyway, and the selection paths preallocate k-sized buffers, so an
+// absurd client k must not size an allocation.
+func clampK(st topk.Store, k int) int {
+	if n := st.Len(); k > n {
+		return n
+	}
+	return k
+}
+
+// withRecover turns handler panics into JSON 500s. Contract
+// violations return errors in API v1, so a panic here is an internal
+// invariant failure — the router releases its locks on panic
+// (internal/shard unlocks with defer), so one poisoned request cannot
+// wedge the fleet; without this middleware net/http would just sever
+// the connection.
 func withRecover(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
 				log.Printf("topkd: %s %s panicked: %v", r.Method, r.URL.Path, v)
-				httpError(w, http.StatusInternalServerError, "internal error: %v", v)
+				httpError(w, http.StatusInternalServerError, "internal", "internal error: %v", v)
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -175,8 +371,44 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// errJSON is the structured error body: {"error":{"code":..,"message":..}}.
+type errJSON struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errCode maps a topk sentinel error to an HTTP status and a stable
+// machine-readable code.
+func errCode(err error) (int, string) {
+	switch {
+	case errors.Is(err, topk.ErrDuplicatePosition):
+		return http.StatusConflict, "duplicate_position"
+	case errors.Is(err, topk.ErrDuplicateScore):
+		return http.StatusConflict, "duplicate_score"
+	case errors.Is(err, topk.ErrInvalidPoint):
+		return http.StatusBadRequest, "invalid_point"
+	case errors.Is(err, topk.ErrNotFound):
+		return http.StatusNotFound, "not_found"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func toErrJSON(err error) *errJSON {
+	_, code := errCode(err)
+	return &errJSON{Code: code, Message: err.Error()}
+}
+
+// writeErr renders a store error with its mapped status and code.
+func writeErr(w http.ResponseWriter, err error) {
+	status, code := errCode(err)
+	httpError(w, status, code, "%v", err)
+}
+
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": errJSON{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
 }

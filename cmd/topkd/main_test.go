@@ -12,13 +12,29 @@ import (
 	topk "repro"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+// errBody is the structured v1 error envelope.
+type errBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func newTestStore(t *testing.T, backend string) topk.Store {
 	t.Helper()
-	idx := topk.NewSharded(topk.ShardedConfig{
+	st, err := newStore(backend, topk.ShardedConfig{
 		Config: topk.Config{ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048},
 		Shards: 4,
-	})
-	srv := httptest.NewServer(newServer(idx))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newServer(newTestStore(t, "sharded")))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -34,85 +50,209 @@ func decode(t *testing.T, resp *http.Response, v any) {
 	}
 }
 
+func decodeErr(t *testing.T, resp *http.Response, wantStatus int) errBody {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status %d, want %d", resp.StatusCode, wantStatus)
+	}
+	var eb errBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code == "" || eb.Error.Message == "" {
+		t.Fatalf("error body missing code/message: %+v", eb)
+	}
+	return eb
+}
+
+// TestEndpoints drives the /v1 surface end to end, on both route
+// prefixes — the unversioned paths must behave as thin aliases.
 func TestEndpoints(t *testing.T) {
+	for _, prefix := range []string{"/v1", ""} {
+		t.Run("prefix="+prefix, func(t *testing.T) {
+			srv := testServer(t)
+
+			for i := 0; i < 20; i++ {
+				body := fmt.Sprintf(`{"x":%d,"score":%d.5}`, i*10, i)
+				resp, err := http.Post(srv.URL+prefix+"/insert", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var out struct {
+					OK bool `json:"ok"`
+					N  int  `json:"n"`
+				}
+				decode(t, resp, &out)
+				if !out.OK || out.N != i+1 {
+					t.Fatalf("insert %d: %+v", i, out)
+				}
+			}
+
+			resp, err := http.Get(srv.URL + prefix + "/topk?x1=0&x2=95&k=3")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var tk struct {
+				Results []struct {
+					X     float64 `json:"x"`
+					Score float64 `json:"score"`
+				} `json:"results"`
+			}
+			decode(t, resp, &tk)
+			if len(tk.Results) != 3 || tk.Results[0].X != 90 || tk.Results[0].Score != 9.5 {
+				t.Fatalf("topk: %+v", tk)
+			}
+
+			resp, err = http.Get(srv.URL + prefix + "/count?x1=0&x2=95")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cnt struct {
+				Count int `json:"count"`
+			}
+			decode(t, resp, &cnt)
+			if cnt.Count != 10 {
+				t.Fatalf("count = %d, want 10", cnt.Count)
+			}
+
+			resp, err = http.Post(srv.URL+prefix+"/delete", "application/json", strings.NewReader(`{"x":90,"score":9.5}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var del struct {
+				Found bool `json:"found"`
+				N     int  `json:"n"`
+			}
+			decode(t, resp, &del)
+			if !del.Found || del.N != 19 {
+				t.Fatalf("delete: %+v", del)
+			}
+			resp, err = http.Post(srv.URL+prefix+"/delete", "application/json", strings.NewReader(`{"x":90,"score":9.5}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			decode(t, resp, &del)
+			if del.Found {
+				t.Fatal("second delete reported found")
+			}
+
+			resp, err = http.Get(srv.URL + prefix + "/stats")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st struct {
+				N      int   `json:"n"`
+				Shards int   `json:"shards"`
+				Writes int64 `json:"writes"`
+			}
+			decode(t, resp, &st)
+			if st.N != 19 || st.Shards < 1 {
+				t.Fatalf("stats: %+v", st)
+			}
+		})
+	}
+}
+
+// TestBatchRoundTrip: POST /v1/batch applies a mixed
+// insert/delete/query batch and reports per-op outcomes in request
+// order; updates run before queries, so the query half observes them.
+func TestBatchRoundTrip(t *testing.T) {
 	srv := testServer(t)
 
-	for i := 0; i < 20; i++ {
-		body := fmt.Sprintf(`{"x":%d,"score":%d.5}`, i*10, i)
-		resp, err := http.Post(srv.URL+"/insert", "application/json", strings.NewReader(body))
+	// Seed two points.
+	for _, body := range []string{`{"x":10,"score":1.5}`, `{"x":20,"score":2.5}`} {
+		resp, err := http.Post(srv.URL+"/v1/insert", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
 		}
-		var out struct {
-			OK bool `json:"ok"`
-			N  int  `json:"n"`
-		}
-		decode(t, resp, &out)
-		if !out.OK || out.N != i+1 {
-			t.Fatalf("insert %d: %+v", i, out)
-		}
+		resp.Body.Close()
 	}
 
-	resp, err := http.Get(srv.URL + "/topk?x1=0&x2=95&k=3")
+	batch := `{"ops":[
+		{"op":"insert","x":30,"score":3.5},
+		{"op":"delete","x":10,"score":1.5},
+		{"op":"query","x1":0,"x2":100,"k":10},
+		{"op":"insert","x":20,"score":9.9},
+		{"op":"delete","x":77,"score":7.7},
+		{"op":"insert","x":40,"score":2.5}
+	]}`
+	resp, err := http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(batch))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var tk struct {
+	var out struct {
 		Results []struct {
-			X     float64 `json:"x"`
-			Score float64 `json:"score"`
+			OK    bool `json:"ok"`
+			Error *struct {
+				Code string `json:"code"`
+			} `json:"error"`
+			Results []struct {
+				X     float64 `json:"x"`
+				Score float64 `json:"score"`
+			} `json:"results"`
+		} `json:"results"`
+		N int `json:"n"`
+	}
+	decode(t, resp, &out)
+	if len(out.Results) != 6 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	if !out.Results[0].OK || !out.Results[1].OK {
+		t.Fatalf("insert/delete ops failed: %+v", out.Results[:2])
+	}
+	// The query ran after the updates: 10 is gone, 30 is present.
+	q := out.Results[2]
+	if !q.OK || len(q.Results) != 2 {
+		t.Fatalf("query item: %+v", q)
+	}
+	if q.Results[0].X != 30 || q.Results[0].Score != 3.5 || q.Results[1].X != 20 {
+		t.Fatalf("query results: %+v", q.Results)
+	}
+	// Duplicate position (20) and duplicate score (2.5) are per-op
+	// rejections, not whole-batch failures.
+	if out.Results[3].OK || out.Results[3].Error.Code != "duplicate_position" {
+		t.Fatalf("duplicate position op: %+v", out.Results[3])
+	}
+	if out.Results[4].OK || out.Results[4].Error.Code != "not_found" {
+		t.Fatalf("absent delete op: %+v", out.Results[4])
+	}
+	if out.Results[5].OK || out.Results[5].Error.Code != "duplicate_score" {
+		t.Fatalf("duplicate score op: %+v", out.Results[5])
+	}
+	if out.N != 2 {
+		t.Fatalf("n = %d, want 2", out.N)
+	}
+
+	// A batch on a near-empty store whose query k exceeds the
+	// PRE-batch live size: the clamp must account for the batch's own
+	// inserts, so both fresh points come back.
+	srv2 := testServer(t)
+	resp, err = http.Post(srv2.URL+"/v1/batch", "application/json", strings.NewReader(
+		`{"ops":[{"op":"insert","x":1,"score":1},{"op":"insert","x":2,"score":2},{"op":"query","x1":0,"x2":10,"k":5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 struct {
+		Results []struct {
+			OK      bool  `json:"ok"`
+			Results []any `json:"results"`
 		} `json:"results"`
 	}
-	decode(t, resp, &tk)
-	if len(tk.Results) != 3 || tk.Results[0].X != 90 || tk.Results[0].Score != 9.5 {
-		t.Fatalf("topk: %+v", tk)
+	decode(t, resp, &out2)
+	if got := len(out2.Results[2].Results); got != 2 {
+		t.Fatalf("query after same-batch inserts returned %d results, want 2", got)
 	}
 
-	resp, err = http.Get(srv.URL + "/count?x1=0&x2=95")
+	// An unknown op tag fails the whole batch as a 400 before anything
+	// is applied.
+	resp, err = http.Post(srv.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"ops":[{"op":"upsert","x":1,"score":1}]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var cnt struct {
-		Count int `json:"count"`
-	}
-	decode(t, resp, &cnt)
-	if cnt.Count != 10 {
-		t.Fatalf("count = %d, want 10", cnt.Count)
-	}
-
-	resp, err = http.Post(srv.URL+"/delete", "application/json", strings.NewReader(`{"x":90,"score":9.5}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var del struct {
-		Found bool `json:"found"`
-		N     int  `json:"n"`
-	}
-	decode(t, resp, &del)
-	if !del.Found || del.N != 19 {
-		t.Fatalf("delete: %+v", del)
-	}
-	resp, err = http.Post(srv.URL+"/delete", "application/json", strings.NewReader(`{"x":90,"score":9.5}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	decode(t, resp, &del)
-	if del.Found {
-		t.Fatal("second delete reported found")
-	}
-
-	resp, err = http.Get(srv.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var st struct {
-		N      int   `json:"n"`
-		Shards int   `json:"shards"`
-		Writes int64 `json:"writes"`
-	}
-	decode(t, resp, &st)
-	if st.N != 19 || st.Shards < 1 {
-		t.Fatalf("stats: %+v", st)
+	if eb := decodeErr(t, resp, http.StatusBadRequest); eb.Error.Code != "bad_request" {
+		t.Fatalf("unknown op code: %+v", eb)
 	}
 }
 
@@ -121,11 +261,12 @@ func TestBadRequests(t *testing.T) {
 	cases := []struct {
 		method, path, body string
 	}{
-		{"POST", "/insert", "not json"},
-		{"POST", "/delete", "{"},
-		{"GET", "/topk?x1=a&x2=1&k=1", ""},
-		{"GET", "/topk?x1=0&x2=1", ""},
-		{"GET", "/count?x1=0", ""},
+		{"POST", "/v1/insert", "not json"},
+		{"POST", "/v1/delete", "{"},
+		{"POST", "/v1/batch", "]["},
+		{"GET", "/v1/topk?x1=a&x2=1&k=1", ""},
+		{"GET", "/v1/topk?x1=0&x2=1", ""},
+		{"GET", "/v1/count?x1=0", ""},
 	}
 	for _, c := range cases {
 		req, err := http.NewRequest(c.method, srv.URL+c.path, strings.NewReader(c.body))
@@ -136,14 +277,13 @@ func TestBadRequests(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("%s %s: status %d, want 400", c.method, c.path, resp.StatusCode)
+		if eb := decodeErr(t, resp, http.StatusBadRequest); eb.Error.Code != "bad_request" {
+			t.Fatalf("%s %s: code %q, want bad_request", c.method, c.path, eb.Error.Code)
 		}
 	}
 	// An absurd k must be served (clamped to the live size), not
 	// size a multi-gigabyte allocation.
-	resp2, err := http.Get(srv.URL + "/topk?x1=-1e18&x2=1e18&k=2000000000")
+	resp2, err := http.Get(srv.URL + "/v1/topk?x1=-1e18&x2=1e18&k=2000000000")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,46 +295,52 @@ func TestBadRequests(t *testing.T) {
 		t.Fatalf("huge k on empty index returned %d results", len(tk.Results))
 	}
 	// Wrong method on a registered pattern.
-	resp, err := http.Get(srv.URL + "/insert")
+	resp, err := http.Get(srv.URL + "/v1/insert")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("GET /insert: status %d, want 405", resp.StatusCode)
+		t.Fatalf("GET /v1/insert: status %d, want 405", resp.StatusCode)
 	}
 }
 
-// TestDuplicateInsert: re-inserting an occupied position violates the
-// index's set contract; the server must refuse with 409 (or degrade
-// to a 500 in the racy residual case) and keep serving afterwards.
+// TestDuplicateInsert: duplicate positions and duplicate scores are
+// 409s with distinct machine-readable codes, and the server keeps
+// serving afterwards.
 func TestDuplicateInsert(t *testing.T) {
 	srv := testServer(t)
 	body := `{"x":42.5,"score":7.25}`
-	resp, err := http.Post(srv.URL+"/insert", "application/json", strings.NewReader(body))
+	resp, err := http.Post(srv.URL+"/v1/insert", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	resp, err = http.Post(srv.URL+"/insert", "application/json", strings.NewReader(body))
+	resp, err = http.Post(srv.URL+"/v1/insert", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("duplicate insert: status %d, want 409", resp.StatusCode)
+	if eb := decodeErr(t, resp, http.StatusConflict); eb.Error.Code != "duplicate_position" {
+		t.Fatalf("duplicate insert code: %+v", eb)
 	}
 	// Same position, different score is still a duplicate position.
-	resp, err = http.Post(srv.URL+"/insert", "application/json", strings.NewReader(`{"x":42.5,"score":9.9}`))
+	resp, err = http.Post(srv.URL+"/v1/insert", "application/json", strings.NewReader(`{"x":42.5,"score":9.9}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("same-position insert: status %d, want 409", resp.StatusCode)
+	if eb := decodeErr(t, resp, http.StatusConflict); eb.Error.Code != "duplicate_position" {
+		t.Fatalf("same-position insert code: %+v", eb)
+	}
+	// Fresh position, occupied score: duplicate_score.
+	resp, err = http.Post(srv.URL+"/v1/insert", "application/json", strings.NewReader(`{"x":99,"score":7.25}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb := decodeErr(t, resp, http.StatusConflict); eb.Error.Code != "duplicate_score" {
+		t.Fatalf("duplicate-score insert code: %+v", eb)
 	}
 	// The index still serves.
-	resp, err = http.Get(srv.URL + "/topk?x1=0&x2=100&k=1")
+	resp, err = http.Get(srv.URL + "/v1/topk?x1=0&x2=100&k=1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,8 +355,46 @@ func TestDuplicateInsert(t *testing.T) {
 	}
 }
 
-// TestRecoverMiddleware: a panicking handler yields a JSON 500, not a
-// severed connection.
+// TestSingleBackend: the handlers are written against topk.Store, so
+// the sequential backend behind a mutex serves the same API (minus
+// the shards gauge in /v1/stats).
+func TestSingleBackend(t *testing.T) {
+	srv := httptest.NewServer(newServer(newTestStore(t, "single")))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/insert", "application/json", strings.NewReader(`{"x":1,"score":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/v1/topk?x1=0&x2=10&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tk struct {
+		Results []struct {
+			X float64 `json:"x"`
+		} `json:"results"`
+	}
+	decode(t, resp, &tk)
+	if len(tk.Results) != 1 || tk.Results[0].X != 1 {
+		t.Fatalf("topk on single backend: %+v", tk)
+	}
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	decode(t, resp, &st)
+	if _, ok := st["shards"]; ok {
+		t.Fatalf("single backend reported shards: %v", st)
+	}
+	if _, err := newStore("bogus", topk.ShardedConfig{}, nil); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestRecoverMiddleware: a panicking handler yields a structured JSON
+// 500, not a severed connection.
 func TestRecoverMiddleware(t *testing.T) {
 	srv := httptest.NewServer(withRecover(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("boom")
@@ -220,23 +404,15 @@ func TestRecoverMiddleware(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("status %d, want 500", resp.StatusCode)
-	}
-	var out struct {
-		Error string `json:"error"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(out.Error, "boom") {
-		t.Fatalf("error body: %+v", out)
+	eb := decodeErr(t, resp, http.StatusInternalServerError)
+	if eb.Error.Code != "internal" || !strings.Contains(eb.Error.Message, "boom") {
+		t.Fatalf("error body: %+v", eb)
 	}
 }
 
 // TestConcurrentClients hammers the server from parallel goroutines,
-// mimicking real serving traffic end to end through HTTP.
+// mimicking real serving traffic end to end through HTTP — mixing
+// point inserts, reads and batch calls.
 func TestConcurrentClients(t *testing.T) {
 	srv := testServer(t)
 	var wg sync.WaitGroup
@@ -245,14 +421,22 @@ func TestConcurrentClients(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
-				body := fmt.Sprintf(`{"x":%d.25,"score":%d.75}`, w*1000+i, w*1000+i)
-				resp, err := http.Post(srv.URL+"/insert", "application/json", strings.NewReader(body))
+				var resp *http.Response
+				var err error
+				if i%2 == 0 {
+					body := fmt.Sprintf(`{"x":%d.25,"score":%d.75}`, w*1000+i, w*1000+i)
+					resp, err = http.Post(srv.URL+"/v1/insert", "application/json", strings.NewReader(body))
+				} else {
+					body := fmt.Sprintf(`{"ops":[{"op":"insert","x":%d.25,"score":%d.75},{"op":"query","x1":0,"x2":10000,"k":5}]}`,
+						w*1000+i, w*1000+i)
+					resp, err = http.Post(srv.URL+"/v1/batch", "application/json", strings.NewReader(body))
+				}
 				if err != nil {
 					t.Error(err)
 					return
 				}
 				resp.Body.Close()
-				resp, err = http.Get(srv.URL + "/topk?x1=0&x2=10000&k=5")
+				resp, err = http.Get(srv.URL + "/v1/topk?x1=0&x2=10000&k=5")
 				if err != nil {
 					t.Error(err)
 					return
@@ -262,7 +446,7 @@ func TestConcurrentClients(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	resp, err := http.Get(srv.URL + "/stats")
+	resp, err := http.Get(srv.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package topk_test
 
 import (
+	"errors"
 	"fmt"
 
 	topk "repro"
@@ -9,12 +10,14 @@ import (
 // The paper's §1 motivating query: "find the best-rated hotels whose
 // prices are between 100 and 200 dollars per night".
 func Example() {
-	idx := topk.New(topk.Config{})
+	idx, _ := topk.New(topk.Config{})
 	hotels := []struct{ price, rating float64 }{
 		{142.50, 9.1}, {99.99, 8.4}, {180.00, 7.7}, {250.00, 9.9}, {120.00, 8.9},
 	}
 	for _, h := range hotels {
-		idx.Insert(h.price, h.rating)
+		if err := idx.Insert(h.price, h.rating); err != nil {
+			panic(err)
+		}
 	}
 	for _, r := range idx.TopK(100, 200, 2) {
 		fmt.Printf("$%.2f rated %.1f\n", r.X, r.Score)
@@ -27,7 +30,7 @@ func Example() {
 // Deletions are first-class: the structure stays balanced and correct
 // under arbitrary update interleavings at O(log_B n) amortized I/Os.
 func ExampleIndex_Delete() {
-	idx := topk.New(topk.Config{})
+	idx, _ := topk.New(topk.Config{})
 	idx.Insert(1, 10)
 	idx.Insert(2, 20)
 	idx.Insert(3, 30)
@@ -37,10 +40,45 @@ func ExampleIndex_Delete() {
 	// 2 20
 }
 
+// Misuse returns sentinel errors instead of panicking: duplicate
+// positions, duplicate scores and non-finite coordinates are all
+// rejected before anything is mutated.
+func ExampleIndex_Insert() {
+	idx, _ := topk.New(topk.Config{})
+	idx.Insert(1, 10)
+	err := idx.Insert(1, 20)
+	fmt.Println(errors.Is(err, topk.ErrDuplicatePosition))
+	err = idx.Insert(2, 10)
+	fmt.Println(errors.Is(err, topk.ErrDuplicateScore))
+	// Output:
+	// true
+	// true
+}
+
+// Both backends implement topk.Store, so serving code is written once.
+// QueryBatch answers many ranges in one call — on Sharded it runs
+// under a single topology lock.
+func ExampleStore() {
+	var st topk.Store
+	st, _ = topk.NewSharded(topk.ShardedConfig{})
+	st.ApplyBatch([]topk.BatchOp{
+		{X: 1, Score: 10}, {X: 2, Score: 20}, {X: 3, Score: 30},
+	})
+	for _, res := range st.QueryBatch([]topk.Query{
+		{X1: 0, X2: 10, K: 1},
+		{X1: 2.5, X2: 10, K: 2},
+	}) {
+		fmt.Println(res)
+	}
+	// Output:
+	// [{3 30}]
+	// [{3 30}]
+}
+
 // The I/O meter exposes the external-memory cost model directly: reads
 // and writes are block transfers through an LRU pool of M/B frames.
 func ExampleIndex_Stats() {
-	idx := topk.New(topk.Config{BlockWords: 8, MemoryWords: 16})
+	idx, _ := topk.New(topk.Config{BlockWords: 8, MemoryWords: 16})
 	for i := 0; i < 64; i++ {
 		idx.Insert(float64(i), float64(i*37%64))
 	}

@@ -4,11 +4,14 @@
 // events in the last minute/hour". This exercises the dynamic side of
 // the structure — every arriving event is an insertion and every
 // expired event a deletion, the workload Theorem 1's O(log_B n) update
-// bound is about.
+// bound is about. Ingest runs in batches through topk.Store.ApplyBatch
+// and the dashboard reads both horizons with one QueryBatch, the way a
+// real collector amortizes per-call overheads.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	topk "repro"
 	"repro/internal/workload"
@@ -18,31 +21,55 @@ func main() {
 	const (
 		stream = 60000 // events in the replayed stream
 		window = 20000 // sliding-window size
+		chunk  = 500   // ingest batch size
 	)
 	gen := workload.NewGen(7)
 	events, _ := gen.Events(stream)
 
-	idx := topk.New(topk.Config{BlockWords: 64, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
+	idx, err := topk.New(topk.Config{BlockWords: 64, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st topk.Store = idx
 
-	fmt.Printf("replaying %d events through a %d-event sliding window\n\n", stream, window)
+	fmt.Printf("replaying %d events through a %d-event sliding window, %d-event batches\n\n",
+		stream, window, chunk)
 	var updates int64
-	idx.ResetStats()
-	for i, ev := range events {
-		idx.Insert(ev.Timestamp, ev.Severity)
-		updates++
-		if i >= window {
-			old := events[i-window]
-			idx.Delete(old.Timestamp, old.Severity)
-			updates++
+	st.ResetStats()
+	for start := 0; start < len(events); start += chunk {
+		end := start + chunk
+		if end > len(events) {
+			end = len(events)
 		}
+		// One batch ingests the chunk's arrivals and retires the events
+		// that slid out of the window.
+		var ops []topk.BatchOp
+		for i := start; i < end; i++ {
+			ops = append(ops, topk.BatchOp{X: events[i].Timestamp, Score: events[i].Severity})
+			if i >= window {
+				old := events[i-window]
+				ops = append(ops, topk.BatchOp{Delete: true, X: old.Timestamp, Score: old.Severity})
+			}
+		}
+		for i, err := range st.ApplyBatch(ops) {
+			if err != nil {
+				log.Fatalf("batch op %d: %v", i, err)
+			}
+		}
+		updates += int64(len(ops))
+
 		// Dashboard refresh every 10k events: top severities over two
-		// trailing horizons.
-		if i > window && i%10000 == 0 {
-			now := ev.Timestamp
-			for _, horizon := range []float64{60, 600} {
-				top := idx.TopK(now-horizon, now, 5)
+		// trailing horizons, fetched with a single batched read.
+		if end%10000 == 0 && end > window {
+			now := events[end-1].Timestamp
+			horizons := []topk.Query{
+				{X1: now - 60, X2: now, K: 5},
+				{X1: now - 600, X2: now, K: 5},
+			}
+			for hi, top := range st.QueryBatch(horizons) {
+				h := horizons[hi]
 				fmt.Printf("t=%9.1f  last %4.0fs: %d events, worst severities:",
-					now, horizon, idx.Count(now-horizon, now))
+					now, h.X2-h.X1, st.Count(h.X1, h.X2))
 				for _, r := range top {
 					fmt.Printf(" %.2f", r.Score)
 				}
@@ -50,7 +77,7 @@ func main() {
 			}
 		}
 	}
-	s := idx.Stats()
+	s := st.Stats()
 	fmt.Printf("\nstream done: %d live events, %d updates, %.1f I/Os amortized per update\n",
-		idx.Len(), updates, float64(s.Reads+s.Writes)/float64(updates))
+		st.Len(), updates, float64(s.Reads+s.Writes)/float64(updates))
 }

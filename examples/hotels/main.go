@@ -3,78 +3,104 @@
 // night". It loads a synthetic hotel catalogue (log-normal prices,
 // ratings lightly correlated with price), serves a mix of interactive
 // queries, applies live updates (price changes re-index the hotel), and
-// reports the I/O cost per operation.
+// reports the I/O cost per operation. The serving code is written
+// against topk.Store, so the same program runs on the concurrent
+// sharded backend with the -sharded flag.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 
 	topk "repro"
 	"repro/internal/workload"
 )
 
 func main() {
+	sharded := flag.Bool("sharded", false, "serve from the concurrent sharded backend")
+	flag.Parse()
+
 	const nHotels = 50000
 	gen := workload.NewGen(2024)
 	hotels, _ := gen.Hotels(nHotels)
 
-	idx := topk.New(topk.Config{BlockWords: 64, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
-	for _, h := range hotels {
-		idx.Insert(h.Price, h.Rating)
+	cfg := topk.Config{BlockWords: 64, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048}
+	pts := make([]topk.Result, len(hotels))
+	for i, h := range hotels {
+		pts[i] = topk.Result{X: h.Price, Score: h.Rating}
 	}
-	fmt.Printf("catalogue: %d hotels indexed; %s; k-threshold %d\n\n",
-		idx.Len(), idx.Regime(), idx.KThreshold())
+	var st topk.Store
+	var err error
+	if *sharded {
+		st, err = topk.LoadSharded(topk.ShardedConfig{Config: cfg, Shards: 8}, pts)
+	} else {
+		st, err = topk.Load(cfg, pts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalogue: %d hotels indexed (sharded=%v)\n\n", st.Len(), *sharded)
 
 	// The §1 query.
-	idx.ResetStats()
-	idx.DropCache()
+	st.ResetStats()
+	st.DropCache()
 	fmt.Println("ten best-rated hotels with price in [$100, $200]:")
-	for i, r := range idx.TopK(100, 200, 10) {
+	for i, r := range st.TopK(100, 200, 10) {
 		fmt.Printf("  %2d. $%7.2f  rating %.2f\n", i+1, r.X, r.Score)
 	}
-	s := idx.Stats()
-	fmt.Printf("  → answered in %d read I/Os (n=%d, B=%d)\n\n", s.Reads, idx.Len(), idx.BlockSize())
+	s := st.Stats()
+	fmt.Printf("  → answered in %d read I/Os (n=%d)\n\n", s.Reads, st.Len())
 
-	// Price bands of varying selectivity.
-	for _, band := range [][2]float64{{50, 90}, {90, 140}, {140, 220}, {220, 500}} {
-		idx.ResetStats()
-		idx.DropCache()
-		top := idx.TopK(band[0], band[1], 5)
-		s := idx.Stats()
-		fmt.Printf("band [$%.0f,$%.0f]: %5d hotels, best rating %.2f, top-5 in %d reads\n",
-			band[0], band[1], idx.Count(band[0], band[1]), top[0].Score, s.Reads)
+	// Price bands of varying selectivity, answered as one QueryBatch.
+	bands := []topk.Query{
+		{X1: 50, X2: 90, K: 5}, {X1: 90, X2: 140, K: 5},
+		{X1: 140, X2: 220, K: 5}, {X1: 220, X2: 500, K: 5},
 	}
+	st.ResetStats()
+	st.DropCache()
+	for i, top := range st.QueryBatch(bands) {
+		b := bands[i]
+		fmt.Printf("band [$%.0f,$%.0f]: %5d hotels, best rating %.2f\n",
+			b.X1, b.X2, st.Count(b.X1, b.X2), top[0].Score)
+	}
+	fmt.Printf("  → all four bands in %d reads via one QueryBatch\n", st.Stats().Reads)
 
-	// Live repricing: hotels move between bands without rebuilds.
-	fmt.Println("\nrepricing 1000 hotels (delete + insert each):")
-	idx.ResetStats()
+	// Live repricing: hotels move between bands without rebuilds. The
+	// deletes go in their own batch before the inserts — a re-used
+	// rating score must be released before it is re-inserted (on the
+	// sharded backend the two may land on different shards, and ops in
+	// one batch are unordered across shards).
+	fmt.Println("\nrepricing 1000 hotels (batched delete + insert):")
+	st.ResetStats()
+	dels := make([]topk.BatchOp, 1000)
+	ins := make([]topk.BatchOp, 1000)
 	for i := 0; i < 1000; i++ {
 		h := hotels[i]
-		idx.Delete(h.Price, h.Rating)
-		newPrice := h.Price * 1.07
-		for !tryInsert(idx, newPrice, h.Rating) {
-			newPrice += 0.0001
-		}
-		hotels[i].Price = newPrice
+		dels[i] = topk.BatchOp{Delete: true, X: h.Price, Score: h.Rating}
+		ins[i] = topk.BatchOp{X: h.Price * 1.07, Score: h.Rating}
+		hotels[i].Price = h.Price * 1.07
 	}
-	s = idx.Stats()
+	for i, err := range st.ApplyBatch(dels) {
+		if err != nil {
+			log.Fatalf("repricing delete %d: %v", i, err)
+		}
+	}
+	for i, err := range st.ApplyBatch(ins) {
+		// A repriced value can collide with another hotel's price;
+		// nudge until the position is free, as a real re-indexer would.
+		for err != nil {
+			ins[i].X += 0.0001
+			hotels[i].Price = ins[i].X
+			err = st.Insert(ins[i].X, ins[i].Score)
+		}
+	}
+	s = st.Stats()
 	fmt.Printf("  → %d I/Os total, %.1f amortized per update\n",
 		s.Reads+s.Writes, float64(s.Reads+s.Writes)/2000)
 
 	fmt.Println("\nten best-rated in [$100,$200] after repricing:")
-	for i, r := range idx.TopK(100, 200, 10) {
+	for i, r := range st.TopK(100, 200, 10) {
 		fmt.Printf("  %2d. $%7.2f  rating %.2f\n", i+1, r.X, r.Score)
 	}
-}
-
-// tryInsert inserts unless the price collides with an existing point
-// (positions must be distinct).
-func tryInsert(idx *topk.Index, pos, score float64) (ok bool) {
-	defer func() {
-		if recover() != nil {
-			ok = false
-		}
-	}()
-	idx.Insert(pos, score)
-	return true
 }

@@ -3,11 +3,15 @@
 // a plain in-memory index: it shows how query cost decomposes into the
 // O(log_B n) search term and the O(k/B) output term, where the
 // composed structure switches between its §3.3 and §2 components
-// (k ≷ B·lg n), and how the block size B changes everything.
+// (k ≷ B·lg n), and how the block size B changes everything. Queries
+// and the meter run through the topk.Store interface; the concrete
+// *Index handle is kept only for the regime introspection (KThreshold,
+// Regime, BlockSize) that single-machine diagnostics are about.
 package main
 
 import (
 	"fmt"
+	"log"
 	"math"
 
 	topk "repro"
@@ -16,21 +20,26 @@ import (
 
 func buildIdx(b, n int) *topk.Index {
 	gen := workload.NewGen(42)
-	idx := topk.New(topk.Config{BlockWords: b, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
+	idx, err := topk.New(topk.Config{BlockWords: b, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, p := range gen.Uniform(n, 1e6) {
-		idx.Insert(p.X, p.Score)
+		if err := idx.Insert(p.X, p.Score); err != nil {
+			log.Fatal(err)
+		}
 	}
 	return idx
 }
 
-func coldQueryReads(idx *topk.Index, x1, x2 float64, k, reps int) float64 {
-	idx.ResetStats()
+func coldQueryReads(st topk.Store, x1, x2 float64, k, reps int) float64 {
+	st.ResetStats()
 	total := int64(0)
 	for i := 0; i < reps; i++ {
-		idx.DropCache()
-		before := idx.Stats().Reads
-		idx.TopK(x1, x2, k)
-		total += idx.Stats().Reads - before
+		st.DropCache()
+		before := st.Stats().Reads
+		st.TopK(x1, x2, k)
+		total += st.Stats().Reads - before
 	}
 	return float64(total) / float64(reps)
 }
@@ -52,20 +61,24 @@ func main() {
 		fmt.Printf("%8d %12.1f %14.1f %s\n", k, reads, float64(k)/float64(idx.BlockSize()), comp)
 	}
 
-	fmt.Println("\nupdate cost vs n (amortized over 2000 inserts, predicted shape log_B n):")
+	fmt.Println("\nupdate cost vs n (amortized over one 2000-op ApplyBatch, predicted shape log_B n):")
 	fmt.Printf("%10s %14s %12s\n", "n", "I/Os/insert", "log_B n")
 	gen := workload.NewGen(1)
 	for _, sz := range []int{4000, 16000, 64000} {
-		idx := topk.New(topk.Config{BlockWords: 64, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
-		pts := gen.Uniform(sz+2000, 1e6)
-		for _, p := range pts[:sz] {
-			idx.Insert(p.X, p.Score)
+		idx := buildIdxFrom(gen, sz)
+		var st topk.Store = idx
+		extra := gen.Uniform(2000, 1e6)
+		ops := make([]topk.BatchOp, len(extra))
+		for i, p := range extra {
+			ops[i] = topk.BatchOp{X: p.X, Score: p.Score}
 		}
-		idx.ResetStats()
-		for _, p := range pts[sz:] {
-			idx.Insert(p.X, p.Score)
+		st.ResetStats()
+		for i, err := range st.ApplyBatch(ops) {
+			if err != nil {
+				log.Fatalf("batch insert %d: %v", i, err)
+			}
 		}
-		s := idx.Stats()
+		s := st.Stats()
 		fmt.Printf("%10d %14.1f %12.2f\n", sz,
 			float64(s.Reads+s.Writes)/2000, math.Log(float64(sz))/math.Log(64))
 	}
@@ -77,4 +90,19 @@ func main() {
 		reads := coldQueryReads(idx, 25e4, 75e4, 64, 5)
 		fmt.Printf("%6d %12.1f %12d\n", b, reads, idx.Stats().BlocksLive)
 	}
+}
+
+// buildIdxFrom builds an index of sz points drawn from gen (shared
+// across sizes so the stream stays duplicate-free).
+func buildIdxFrom(gen *workload.Gen, sz int) *topk.Index {
+	idx, err := topk.New(topk.Config{BlockWords: 64, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range gen.Uniform(sz, 1e6) {
+		if err := idx.Insert(p.X, p.Score); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return idx
 }

@@ -1,16 +1,25 @@
-// Command quickstart is the minimal end-to-end walkthrough of the topk
-// public API: build an index, query it, mutate it, and inspect the I/O
-// meter of the simulated external-memory disk.
+// Command quickstart is the minimal end-to-end walkthrough of the v1
+// public API: build a Store, query it (single and batched), mutate
+// it, handle the error contract, and inspect the I/O meter of the
+// simulated external-memory disk. Everything below the constructor
+// uses only the topk.Store interface, so switching the backend to the
+// concurrent Sharded fleet is a one-line change.
 package main
 
 import (
+	"errors"
 	"fmt"
+	"log"
 
 	topk "repro"
 )
 
 func main() {
-	idx := topk.New(topk.Config{})
+	idx, err := topk.New(topk.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st topk.Store = idx // or: topk.NewSharded(topk.ShardedConfig{...})
 
 	// A tiny catalogue: (position, score) pairs. Think of position as a
 	// price and score as a quality rating — the paper's §1 example.
@@ -20,27 +29,48 @@ func main() {
 		{160.75, 8.3}, {240.00, 9.5},
 	}
 	for _, it := range items {
-		idx.Insert(it.pos, it.score)
+		if err := st.Insert(it.pos, it.score); err != nil {
+			log.Fatal(err)
+		}
 	}
-	fmt.Printf("indexed %d items (block size %d words)\n\n", idx.Len(), idx.BlockSize())
+	fmt.Printf("indexed %d items\n\n", st.Len())
+
+	// Misuse is an error, not a panic: the position 120.00 is taken,
+	// and so is the score 9.2 (scores are distinct by the paper's
+	// standing assumption).
+	if err := st.Insert(120.00, 5.0); errors.Is(err, topk.ErrDuplicatePosition) {
+		fmt.Printf("re-insert at 120.00 rejected: %v\n", err)
+	}
+	if err := st.Insert(300.00, 9.2); errors.Is(err, topk.ErrDuplicateScore) {
+		fmt.Printf("re-used score 9.2 rejected: %v\n\n", err)
+	}
 
 	// Top-3 by score among items positioned in [100, 200].
 	fmt.Println("top-3 in [100, 200]:")
-	for i, r := range idx.TopK(100, 200, 3) {
+	for i, r := range st.TopK(100, 200, 3) {
 		fmt.Printf("  %d. pos=%.2f score=%.1f\n", i+1, r.X, r.Score)
 	}
 
 	// Updates are first-class: delete the current winner and re-query.
-	best := idx.TopK(100, 200, 1)[0]
-	idx.Delete(best.X, best.Score)
+	best := st.TopK(100, 200, 1)[0]
+	st.Delete(best.X, best.Score)
 	fmt.Printf("\ndeleted (%.2f, %.1f); new top-3:\n", best.X, best.Score)
-	for i, r := range idx.TopK(100, 200, 3) {
+	for i, r := range st.TopK(100, 200, 3) {
 		fmt.Printf("  %d. pos=%.2f score=%.1f\n", i+1, r.X, r.Score)
+	}
+
+	// Batched reads: several price bands answered in one call (on the
+	// sharded backend this runs under a single topology lock).
+	fmt.Println("\nbest item per band, one QueryBatch:")
+	bands := []topk.Query{{X1: 80, X2: 140, K: 1}, {X1: 140, X2: 200, K: 1}, {X1: 200, X2: 260, K: 1}}
+	for i, res := range st.QueryBatch(bands) {
+		fmt.Printf("  [%3.0f, %3.0f]: pos=%.2f score=%.1f\n",
+			bands[i].X1, bands[i].X2, res[0].X, res[0].Score)
 	}
 
 	// The disk meter shows block transfers — the unit all of the
 	// paper's bounds are stated in.
-	s := idx.Stats()
+	s := st.Stats()
 	fmt.Printf("\nI/O meter: %d reads, %d writes, %d blocks live\n",
 		s.Reads, s.Writes, s.BlocksLive)
 }

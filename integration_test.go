@@ -37,9 +37,16 @@ func allEngines(b int) []engine {
 	d3 := em.NewDisk(em.Config{B: b, M: 64 * b})
 	st := shengtao.New(d3, shengtao.Options{K: 64})
 	rm := &ram.Tree{}
+	// core.Insert returns errors under the v1 contract; the shared
+	// workload is duplicate-free, so any error is a test failure.
+	coreInsert := func(p point.P) {
+		if err := ix.Insert(p); err != nil {
+			panic(err)
+		}
+	}
 	return []engine{
 		{"pst", p.Insert, p.Delete, p.Query, 0},
-		{"core", ix.Insert, ix.Delete, ix.Query, 0},
+		{"core", coreInsert, ix.Delete, ix.Query, 0},
 		{"shengtao", st.Insert, st.Delete, st.Query, 64},
 		{"ram", rm.Insert, rm.Delete, rm.Query, 0},
 	}
@@ -120,7 +127,7 @@ func TestIntegrationLargeBlocks(t *testing.T) {
 func TestIntegrationHotelScenario(t *testing.T) {
 	gen := workload.NewGen(112)
 	hotels, pts := gen.Hotels(3000)
-	idx := Load(Config{BlockWords: 32, ForcePolylog: true, PolylogF: 4, PolylogLeafCap: 128}, toResults(pts))
+	idx := mustLoad(t, Config{BlockWords: 32, ForcePolylog: true, PolylogF: 4, PolylogLeafCap: 128}, toResults(pts))
 	oracle := verify.NewOracle(pts)
 
 	got := toPoints(idx.TopK(100, 200, 10))
@@ -136,7 +143,7 @@ func TestIntegrationHotelScenario(t *testing.T) {
 		idx.Delete(old.X, old.Score)
 		oracle.Delete(old)
 		np := point.P{X: h.Price + 1e-7, Score: h.Rating}
-		idx.Insert(np.X, np.Score)
+		mustInsert(t, idx, np.X, np.Score)
 		oracle.Insert(np)
 	}
 	for _, band := range [][2]float64{{50, 90}, {100, 200}, {140, 400}} {
@@ -153,10 +160,10 @@ func TestIntegrationEventWindow(t *testing.T) {
 	gen := workload.NewGen(113)
 	_, pts := gen.Events(4000)
 	const window = 1500
-	idx := New(Config{BlockWords: 32, ForcePolylog: true, PolylogF: 4, PolylogLeafCap: 128})
+	idx := mustNew(t, Config{BlockWords: 32, ForcePolylog: true, PolylogF: 4, PolylogLeafCap: 128})
 	oracle := verify.NewOracle(nil)
 	for i, p := range pts {
-		idx.Insert(p.X, p.Score)
+		mustInsert(t, idx, p.X, p.Score)
 		oracle.Insert(p)
 		if i >= window {
 			old := pts[i-window]

@@ -26,6 +26,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -34,6 +35,21 @@ import (
 	"repro/internal/polylog"
 	"repro/internal/pst"
 	"repro/internal/shengtao"
+)
+
+// Sentinel errors of the insert/update path. They are defined here —
+// the lowest layer that understands the paper's input contract (a set
+// of reals with distinct scores) — and re-exported by the public topk
+// package so every serving layer speaks the same vocabulary.
+var (
+	// ErrInvalidPoint rejects NaN/±Inf coordinates.
+	ErrInvalidPoint = errors.New("invalid point: position and score must be finite")
+	// ErrDuplicatePosition rejects an insert at an occupied position.
+	ErrDuplicatePosition = errors.New("position already present")
+	// ErrDuplicateScore rejects an insert whose score is already live.
+	ErrDuplicateScore = errors.New("score already present")
+	// ErrNotFound reports a batched delete of an absent point.
+	ErrNotFound = errors.New("point not found")
 )
 
 // Regime identifies which small-k component serves queries below the
@@ -89,6 +105,15 @@ type Index struct {
 	poly   *polylog.Tree  // small-k component in the polylog regime
 	base   *shengtao.Tree // small-k component in the baseline regime
 	regime Regime         // resolved regime for the current build
+
+	// positions and scores are the duplicate guards behind Insert's
+	// error contract. They live in Go memory outside the I/O-charged
+	// model — like the I/O meter itself they are serving-layer
+	// bookkeeping, not part of the paper's structure (the in-model
+	// alternative is a Count probe at O(log_B n) extra I/Os per
+	// insert, which would distort the measured update bounds).
+	positions map[float64]struct{}
+	scores    map[float64]struct{}
 }
 
 // New returns an empty index on d.
@@ -153,6 +178,12 @@ func (ix *Index) build(pts []point.P) {
 		ix.N = 16
 	}
 	ix.regime = ix.resolveRegime()
+	ix.positions = make(map[float64]struct{}, len(pts))
+	ix.scores = make(map[float64]struct{}, len(pts))
+	for _, p := range pts {
+		ix.positions[p.X] = struct{}{}
+		ix.scores[p.Score] = struct{}{}
+	}
 	ix.tree = pst.Bulk(ix.d, ix.opt.PST, pts)
 	switch ix.regime {
 	case RegimeBaseline:
@@ -206,8 +237,35 @@ func (ix *Index) live() []point.P { return ix.tree.Live() }
 // the same argument as global rebuilding.
 func (ix *Index) Live() []point.P { return ix.live() }
 
-// Insert adds p in O(log_B n) amortized I/Os.
-func (ix *Index) Insert(p point.P) {
+// Has reports whether a live point occupies position x (O(1), no I/O:
+// the guard maps are Go-memory bookkeeping).
+func (ix *Index) Has(x float64) bool {
+	_, ok := ix.positions[x]
+	return ok
+}
+
+// HasScore reports whether score is live (O(1), no I/O).
+func (ix *Index) HasScore(score float64) bool {
+	_, ok := ix.scores[score]
+	return ok
+}
+
+// Insert adds p in O(log_B n) amortized I/Os. Contract violations are
+// rejected with a sentinel error BEFORE anything is mutated — an
+// in-flight violation would leave the two maintained structures
+// diverged and poison every later rebuild. Checks run in a fixed
+// order: ErrInvalidPoint, then ErrDuplicatePosition, then
+// ErrDuplicateScore.
+func (ix *Index) Insert(p point.P) error {
+	if !p.Finite() {
+		return ErrInvalidPoint
+	}
+	if ix.Has(p.X) {
+		return ErrDuplicatePosition
+	}
+	if ix.HasScore(p.Score) {
+		return ErrDuplicateScore
+	}
 	ix.tree.Insert(p)
 	if ix.poly != nil {
 		ix.poly.Insert(p)
@@ -215,8 +273,11 @@ func (ix *Index) Insert(p point.P) {
 	if ix.base != nil {
 		ix.base.Insert(p)
 	}
+	ix.positions[p.X] = struct{}{}
+	ix.scores[p.Score] = struct{}{}
 	ix.n++
 	ix.maybeRebuild()
+	return nil
 }
 
 // Delete removes p, reporting whether it was present, in O(log_B n)
@@ -225,6 +286,8 @@ func (ix *Index) Delete(p point.P) bool {
 	if !ix.tree.Delete(p) {
 		return false
 	}
+	delete(ix.positions, p.X)
+	delete(ix.scores, p.Score)
 	if ix.poly != nil && !ix.poly.Delete(p) {
 		panic("core: structures diverged on delete")
 	}
@@ -310,6 +373,15 @@ func (ix *Index) CheckInvariants() error {
 	if ix.base != nil {
 		if err := ix.base.CheckInvariants(); err != nil {
 			return fmt.Errorf("baseline: %w", err)
+		}
+	}
+	if len(ix.positions) != ix.n || len(ix.scores) != ix.n {
+		return fmt.Errorf("duplicate guards out of sync: %d positions, %d scores, n=%d",
+			len(ix.positions), len(ix.scores), ix.n)
+	}
+	for _, p := range ix.live() {
+		if !ix.Has(p.X) || !ix.HasScore(p.Score) {
+			return fmt.Errorf("live point %v missing from duplicate guards", p)
 		}
 	}
 	return nil

@@ -8,12 +8,24 @@
 // distinct, the standard assumption that makes top-k results unique.
 package point
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // P is an input element: position X with score Score.
 type P struct {
 	X     float64
 	Score float64
+}
+
+// Finite reports whether both coordinates are real numbers (no NaN,
+// no ±Inf). The paper's input is a set of reals; non-finite values
+// additionally break position routing and map-based duplicate guards
+// (NaN is unequal to itself), so every insert path rejects them first.
+func (p P) Finite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Score) && !math.IsInf(p.Score, 0)
 }
 
 // Less orders by X, breaking ties by score (ties in X can occur; ties in

@@ -49,7 +49,13 @@ import (
 // Options configures a Router. The zero value serves from up to 8
 // shards of paper-default EM machines.
 type Options struct {
-	// Disk configures each shard's simulated EM machine.
+	// Disk configures the shard EM machines. Disk.M is the FLEET
+	// buffer-pool budget, not a per-shard figure: it is divided evenly
+	// across the shards that exist when a shard is (re)built — at bulk
+	// load, split and rebalance time — so total fleet memory stays
+	// O(M) instead of O(M·shards). Each machine keeps the model's
+	// floor of M ≥ 2B (paper footnote 2; em clamps), so at extreme
+	// shard counts the fleet total is min 2B·shards.
 	Disk em.Config
 	// Core configures each shard's Theorem 1 structure.
 	Core core.Options
@@ -77,7 +83,26 @@ func (o Options) withDefaults() Options {
 	if o.MinSplit <= 0 {
 		o.MinSplit = 512
 	}
+	if o.Disk.B <= 0 {
+		o.Disk.B = em.DefaultB
+	}
+	if o.Disk.M <= 0 {
+		o.Disk.M = em.DefaultM
+	}
 	return o
+}
+
+// diskFor returns the EM config for one shard of a count-shard fleet:
+// the fleet memory budget divided evenly. Resizing happens only when a
+// shard is (re)built — existing pools keep their size until the next
+// split or rebalance touches them, so the O(M) fleet total is exact
+// after a bulk load or rebalance and approximate between them.
+func (o Options) diskFor(count int) em.Config {
+	d := o.Disk
+	if count > 1 {
+		d.M /= count
+	}
+	return d
 }
 
 // shard is one partition: a complete sequential EM machine over the
@@ -93,8 +118,11 @@ type shard struct {
 	ix *core.Index
 }
 
-func newShard(opt Options, lo, hi float64, pts []point.P) *shard {
-	d := em.NewDisk(opt.Disk)
+// newShard builds one shard over [lo, hi). disk carries the per-shard
+// memory share computed by Options.diskFor for the fleet size at build
+// time.
+func newShard(opt Options, disk em.Config, lo, hi float64, pts []point.P) *shard {
+	d := em.NewDisk(disk)
 	s := &shard{lo: lo, hi: hi, d: d}
 	if len(pts) == 0 {
 		s.ix = core.New(d, opt.Core)
@@ -123,6 +151,34 @@ type Router struct {
 	// rebalances, so aggregate Stats never lose history. Guarded by mu
 	// (write mode).
 	retired em.Stats
+
+	// scores is the router-level duplicate-score guard: the set of all
+	// live scores across the fleet, with its own mutex so parallel
+	// batch workers on different shards can consult it. Per-shard
+	// structures only see their own sub-range, so without this set an
+	// equal score on a different shard would be accepted silently and
+	// detonate when a later split or rebalance co-locates the pair.
+	scoreMu sync.Mutex
+	scores  map[float64]struct{}
+}
+
+// reserveScore claims score for an in-flight insert, reporting false
+// if it is already live. The claim must be released if the insert
+// fails for another reason (occupied position).
+func (r *Router) reserveScore(score float64) bool {
+	r.scoreMu.Lock()
+	defer r.scoreMu.Unlock()
+	if _, dup := r.scores[score]; dup {
+		return false
+	}
+	r.scores[score] = struct{}{}
+	return true
+}
+
+func (r *Router) releaseScore(score float64) {
+	r.scoreMu.Lock()
+	delete(r.scores, score)
+	r.scoreMu.Unlock()
 }
 
 // New returns an empty Router: one shard covering the whole line,
@@ -131,22 +187,28 @@ func New(opt Options) *Router {
 	opt = opt.withDefaults()
 	return &Router{
 		opt:    opt,
-		shards: []*shard{newShard(opt, math.Inf(-1), math.Inf(1), nil)},
+		shards: []*shard{newShard(opt, opt.diskFor(1), math.Inf(-1), math.Inf(1), nil)},
+		scores: map[float64]struct{}{},
 	}
 }
 
 // Bulk builds a Router over pts, pre-partitioned into min(shards,
 // MaxShards) equal quantile ranges (at least one point per shard).
-// shards < 1 means "use the (defaulted) MaxShards".
+// shards < 1 means "use the (defaulted) MaxShards". pts must satisfy
+// the input contract (finite coordinates, distinct positions and
+// scores) — the public topk layer validates before calling.
 func Bulk(opt Options, pts []point.P, shards int) *Router {
 	opt = opt.withDefaults()
-	r := &Router{opt: opt}
+	r := &Router{opt: opt, scores: make(map[float64]struct{}, len(pts))}
 	if shards < 1 || shards > opt.MaxShards {
 		shards = opt.MaxShards
 	}
 	sorted := append([]point.P(nil), pts...)
 	point.SortByX(sorted)
 	r.shards = partition(opt, sorted, shards)
+	for _, p := range pts {
+		r.scores[p.Score] = struct{}{}
+	}
 	r.n.Store(int64(len(pts)))
 	return r
 }
@@ -164,8 +226,9 @@ func partition(opt Options, sorted []point.P, want int) []*shard {
 		want = len(sorted)
 	}
 	if want <= 1 {
-		return []*shard{newShard(opt, math.Inf(-1), math.Inf(1), sorted)}
+		return []*shard{newShard(opt, opt.diskFor(1), math.Inf(-1), math.Inf(1), sorted)}
 	}
+	disk := opt.diskFor(want)
 	var out []*shard
 	lo := math.Inf(-1)
 	start := 0
@@ -191,7 +254,7 @@ func partition(opt Options, sorted []point.P, want int) []*shard {
 				}
 			}
 		}
-		out = append(out, newShard(opt, lo, hi, sorted[start:end]))
+		out = append(out, newShard(opt, disk, lo, hi, sorted[start:end]))
 		lo = hi
 		start = end
 		if end == len(sorted) {
@@ -235,43 +298,64 @@ func (r *Router) Boundaries() []float64 {
 	return cuts
 }
 
-// Insert adds p. Safe for concurrent use.
+// Insert adds p. Safe for concurrent use. Contract violations return
+// sentinel errors before anything is mutated, in the same fixed order
+// as core.Index.Insert: core.ErrInvalidPoint, then
+// core.ErrDuplicatePosition (checked inside the owning shard), then
+// core.ErrDuplicateScore (checked against the router-level score set,
+// so an equal score on a DIFFERENT shard is caught too).
 //
-// All router methods unlock with defer: the underlying structures
-// panic on contract violations (duplicate positions or scores — the
-// paper's input is a set of reals with distinct scores), and a panic
-// that unwound past a held lock would wedge the shard for every
-// future request. The panic still propagates to the caller; the
-// violating shard's structures may be left partially updated, but the
-// fleet keeps serving.
-func (r *Router) Insert(p point.P) {
-	if r.insertLocked(p) {
+// All router methods unlock with defer, so even an internal invariant
+// panic cannot wedge a shard for future requests.
+func (r *Router) Insert(p point.P) error {
+	overloaded, err := r.insertLocked(p)
+	if err != nil {
+		return err
+	}
+	if overloaded {
 		r.splitOverloaded()
 	}
+	return nil
 }
 
 // insertLocked performs the insert under the topology read lock and
-// reports whether the target shard came out overloaded. It panics on
-// an occupied position — but BEFORE mutating anything: core.Index
-// applies an update to both maintained structures in turn, so letting
-// the violation surface mid-update would leave them diverged and
-// poison every later rebuild of the shard. The Count pre-check is one
-// O(log_B n) probe, paid only by the serving layer; the sequential
-// core keeps the paper's exact update path.
-func (r *Router) insertLocked(p point.P) bool {
+// reports whether the target shard came out overloaded.
+func (r *Router) insertLocked(p point.P) (bool, error) {
+	if !p.Finite() {
+		return false, core.ErrInvalidPoint
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := r.shards[r.locate(p.X)]
-	ln := func() int {
+	ln, err := func() (int, error) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if s.ix.Count(p.X, p.X) > 0 {
-			panic(fmt.Sprintf("shard: position %v already present (the input is a set of reals)", p.X))
-		}
-		s.ix.Insert(p)
-		return s.ix.Len()
+		return r.insertShard(s, p)
 	}()
-	return r.overloaded(ln, r.n.Add(1))
+	if err != nil {
+		return false, err
+	}
+	return r.overloaded(ln, r.n.Add(1)), nil
+}
+
+// insertShard applies the duplicate checks and the insert to s. The
+// caller holds the topology read lock and s.mu — the shard lock
+// serializes the position check with the insert, and the score
+// reservation is atomic on its own mutex, so concurrent duplicate
+// inserts race to exactly one success.
+func (r *Router) insertShard(s *shard, p point.P) (int, error) {
+	if s.ix.Has(p.X) {
+		return 0, core.ErrDuplicatePosition
+	}
+	if !r.reserveScore(p.Score) {
+		return 0, core.ErrDuplicateScore
+	}
+	if err := s.ix.Insert(p); err != nil {
+		// Unreachable given the checks above, but never leak the claim.
+		r.releaseScore(p.Score)
+		return 0, err
+	}
+	return s.ix.Len(), nil
 }
 
 // Delete removes p, reporting whether it was present.
@@ -284,6 +368,7 @@ func (r *Router) Delete(p point.P) bool {
 	if !s.ix.Delete(p) {
 		return false
 	}
+	r.releaseScore(p.Score)
 	r.n.Add(-1)
 	return true
 }
@@ -318,8 +403,9 @@ func (r *Router) splitOverloaded() {
 			// Positions are distinct, so pts[mid-1].X < pts[mid].X and
 			// the median is a valid cut strictly inside (lo, hi).
 			cut := pts[mid].X
-			left := newShard(r.opt, s.lo, cut, pts[:mid])
-			right := newShard(r.opt, cut, s.hi, pts[mid:])
+			disk := r.opt.diskFor(len(r.shards) + 1)
+			left := newShard(r.opt, disk, s.lo, cut, pts[:mid])
+			right := newShard(r.opt, disk, cut, s.hi, pts[mid:])
 			r.retired = addStats(r.retired, s.d.Stats())
 			r.shards = append(r.shards[:i:i], append([]*shard{left, right}, r.shards[i+1:]...)...)
 			split = true
@@ -361,11 +447,12 @@ func (r *Router) Rebalance(target int) {
 type panicBox struct{ v any }
 
 // runParallel runs each fn in its own goroutine and waits for all.
-// A panic inside a worker (a contract violation surfacing from the
-// sequential structures) is captured and re-raised on the caller's
-// goroutine after every worker finishes — an unrecovered goroutine
-// panic would kill the whole process, and shard locks are released by
-// the workers' own defers.
+// A panic inside a worker (an internal invariant violation — contract
+// violations on caller input are rejected with errors before reaching
+// here) is captured and re-raised on the caller's goroutine after
+// every worker finishes — an unrecovered goroutine panic would kill
+// the whole process, and shard locks are released by the workers' own
+// defers.
 func runParallel(fns []func()) {
 	if len(fns) == 1 {
 		fns[0]()
@@ -529,15 +616,21 @@ type Op struct {
 // parallel goroutines. Per-shard order follows batch order, so a batch
 // is equivalent to some sequential interleaving of its ops (any two
 // ops on different shards commute: shards hold disjoint position
-// ranges). The result reports per op whether it took effect: for
-// deletes, presence; for inserts, whether the position was free — an
-// insert at an occupied position is rejected (false) rather than
-// violating the set contract mid-structure.
-func (r *Router) ApplyBatch(ops []Op) []bool {
+// ranges). Note the interleaving is not chosen: an insert that reuses
+// a score deleted on a DIFFERENT shard in the same batch races the
+// delete and may be rejected — issue the deletes in their own batch
+// first when recycling scores.
+//
+// The result reports one error per op: nil for an applied insert or a
+// delete that found its point; core.ErrNotFound for a delete of an
+// absent point; core.ErrInvalidPoint / core.ErrDuplicatePosition /
+// core.ErrDuplicateScore for rejected inserts. A rejected op never
+// mutates anything.
+func (r *Router) ApplyBatch(ops []Op) []error {
 	if len(ops) == 0 {
 		return nil
 	}
-	res := make([]bool, len(ops))
+	res := make([]error, len(ops))
 	if r.applyBatchLocked(ops, res) {
 		r.splitOverloaded()
 	}
@@ -546,13 +639,22 @@ func (r *Router) ApplyBatch(ops []Op) []bool {
 
 // applyBatchLocked runs the batch under the topology read lock and
 // reports whether any touched shard came out overloaded. The live
-// counter is maintained per op so it stays accurate even if a
-// contract violation aborts the batch mid-way.
-func (r *Router) applyBatchLocked(ops []Op, res []bool) bool {
+// counter is maintained per op so it stays accurate even if a worker
+// panics mid-batch (internal invariant violations only; contract
+// violations are rejected per op).
+func (r *Router) applyBatchLocked(ops []Op, res []error) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	groups := make(map[int][]int, len(r.shards))
 	for i, op := range ops {
+		if !op.Delete && !op.P.Finite() {
+			// Reject inserts up front: a non-finite score would poison
+			// the score set. Non-finite deletes fall through instead —
+			// locate clamps NaN/±Inf to a shard and the exact-match
+			// delete reports ErrNotFound, matching Index.ApplyBatch.
+			res[i] = core.ErrInvalidPoint
+			continue
+		}
 		si := r.locate(op.P.X)
 		groups[si] = append(groups[si], i)
 	}
@@ -566,17 +668,18 @@ func (r *Router) applyBatchLocked(ops []Op, res []bool) bool {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			for _, i := range idxs {
-				switch {
-				case ops[i].Delete:
+				if ops[i].Delete {
 					if s.ix.Delete(ops[i].P) {
-						res[i] = true
+						r.releaseScore(ops[i].P.Score)
 						r.n.Add(-1)
+					} else {
+						res[i] = core.ErrNotFound
 					}
-				case s.ix.Count(ops[i].P.X, ops[i].P.X) > 0:
-					// Occupied position: rejected, res[i] stays false.
-				default:
-					s.ix.Insert(ops[i].P)
-					res[i] = true
+					continue
+				}
+				if _, err := r.insertShard(s, ops[i].P); err != nil {
+					res[i] = err
+				} else {
 					r.n.Add(1)
 				}
 			}
@@ -591,6 +694,67 @@ func (r *Router) applyBatchLocked(ops []Op, res []bool) bool {
 		}
 	}
 	return false
+}
+
+// Query is one read of a QueryBatch: the k highest-scoring points
+// with position in [X1, X2].
+type Query struct {
+	X1, X2 float64
+	K      int
+}
+
+// QueryBatch answers qs as one batch under a SINGLE topology read
+// lock, amortizing the lock acquisition and goroutine setup that a
+// loop of TopK calls would pay per query. Work is grouped by shard —
+// each shard's mutex is taken once and its queries run sequentially
+// on it (the EM machines are sequential), while distinct shards
+// proceed in parallel. Answers are positionally aligned with qs and
+// byte-identical to calling TopK once per query on the same topology;
+// invalid queries (k ≤ 0, inverted or NaN bounds) yield nil.
+func (r *Router) QueryBatch(qs []Query) [][]point.P {
+	if len(qs) == 0 {
+		return nil
+	}
+	out := make([][]point.P, len(qs))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	type task struct{ qi, slot int }
+	tasks := make([][]task, len(r.shards))
+	lists := make([][][]point.P, len(qs))
+	for qi, q := range qs {
+		if q.K <= 0 || q.X1 > q.X2 || math.IsNaN(q.X1) || math.IsNaN(q.X2) {
+			continue
+		}
+		lo, hi := r.locate(q.X1), r.locate(q.X2)
+		lists[qi] = make([][]point.P, hi-lo+1)
+		for si := lo; si <= hi; si++ {
+			tasks[si] = append(tasks[si], task{qi, si - lo})
+		}
+	}
+	var fns []func()
+	for si, ts := range tasks {
+		if len(ts) == 0 {
+			continue
+		}
+		s, ts := r.shards[si], ts
+		fns = append(fns, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for _, t := range ts {
+				q := qs[t.qi]
+				lists[t.qi][t.slot] = s.ix.Query(q.X1, q.X2, q.K)
+			}
+		})
+	}
+	if len(fns) > 0 {
+		runParallel(fns)
+	}
+	for qi, ls := range lists {
+		if ls != nil {
+			out[qi] = mergeTopK(ls, qs[qi].K)
+		}
+	}
+	return out
 }
 
 func addStats(a, b em.Stats) em.Stats {
@@ -681,6 +845,18 @@ func (r *Router) CheckInvariants() error {
 	}
 	if int64(total) != r.n.Load() {
 		return fmt.Errorf("live count %d != atomic n %d", total, r.n.Load())
+	}
+	r.scoreMu.Lock()
+	defer r.scoreMu.Unlock()
+	if len(r.scores) != total {
+		return fmt.Errorf("score set has %d entries, want %d", len(r.scores), total)
+	}
+	for _, s := range r.shards {
+		for _, p := range s.ix.Live() {
+			if _, ok := r.scores[p.Score]; !ok {
+				return fmt.Errorf("live score %v missing from router score set", p.Score)
+			}
+		}
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"reflect"
@@ -199,13 +200,13 @@ func TestApplyBatchMatchesSequential(t *testing.T) {
 					break
 				}
 			}
-			if !res[i] {
-				t.Fatalf("op %d: batch delete of live point reported not found", i)
+			if res[i] != nil {
+				t.Fatalf("op %d: batch delete of live point: %v", i, res[i])
 			}
 		} else {
 			seq = append(seq, *u.Insert)
-			if !res[i] {
-				t.Fatalf("op %d: insert reported false", i)
+			if res[i] != nil {
+				t.Fatalf("op %d: insert: %v", i, res[i])
 			}
 		}
 	}
@@ -247,8 +248,8 @@ func TestConcurrentBatchesAndQueries(t *testing.T) {
 				}
 				res := r.ApplyBatch(ops)
 				for i := range res {
-					if !res[i] {
-						t.Error("concurrent insert reported false")
+					if res[i] != nil {
+						t.Errorf("concurrent insert: %v", res[i])
 						return
 					}
 				}
@@ -261,8 +262,8 @@ func TestConcurrentBatchesAndQueries(t *testing.T) {
 				}
 				res = r.ApplyBatch(dels)
 				for i := range res {
-					if !res[i] {
-						t.Error("concurrent delete of own point not found")
+					if res[i] != nil {
+						t.Errorf("concurrent delete of own point: %v", res[i])
 						return
 					}
 				}
@@ -365,55 +366,146 @@ func TestEmptyAndDegenerate(t *testing.T) {
 	}
 }
 
-// TestPanicDoesNotWedgeRouter: a contract violation (duplicate
-// position) panics out of the underlying structures. The panic must
-// reach the caller, and — critically for a serving layer — every lock
-// must be released on the way out so the router keeps serving.
-func TestPanicDoesNotWedgeRouter(t *testing.T) {
+// TestContractViolationsReturnErrors: duplicate positions, duplicate
+// scores (including on a DIFFERENT shard) and non-finite coordinates
+// are sentinel errors, nothing panics, nothing is mutated, and —
+// critically for a serving layer — every lock is released so the
+// router keeps serving.
+func TestContractViolationsReturnErrors(t *testing.T) {
 	r := Bulk(testOptions(4), workload.NewGen(23).Uniform(1000, 1e6), 4)
 	dup := r.TopK(math.Inf(-1), math.Inf(1), 1)[0]
 
-	mustPanic := func(name string, f func()) {
-		t.Helper()
-		defer func() {
-			if recover() == nil {
-				t.Fatalf("%s: no panic on duplicate position", name)
-			}
-		}()
-		f()
+	if err := r.Insert(point.P{X: dup.X, Score: 123456}); !errors.Is(err, core.ErrDuplicatePosition) {
+		t.Fatalf("duplicate position: %v", err)
 	}
-	mustPanic("Insert", func() { r.Insert(point.P{X: dup.X, Score: 123456}) })
-	// A batch insert at an occupied position is rejected, not panicked.
-	if res := r.ApplyBatch([]Op{{P: point.P{X: dup.X, Score: 654321}}}); res[0] {
-		t.Fatal("batch insert at occupied position reported true")
+	// The duplicate score lives on whatever shard holds dup; inserting
+	// far outside the data domain routes to the last shard — the
+	// router-level score set must still catch it.
+	if err := r.Insert(point.P{X: 9e9, Score: dup.Score}); !errors.Is(err, core.ErrDuplicateScore) {
+		t.Fatalf("cross-shard duplicate score: %v", err)
 	}
-	if got := r.Len(); got != 1000 {
-		t.Fatalf("Len after rejected duplicates = %d, want 1000", got)
+	if err := r.Insert(point.P{X: math.NaN(), Score: 1}); !errors.Is(err, core.ErrInvalidPoint) {
+		t.Fatalf("NaN position: %v", err)
+	}
+	if err := r.Insert(point.P{X: 1e9, Score: math.Inf(1)}); !errors.Is(err, core.ErrInvalidPoint) {
+		t.Fatalf("Inf score: %v", err)
+	}
+	// The same rejections through the batch path, alongside an op that
+	// succeeds.
+	res := r.ApplyBatch([]Op{
+		{P: point.P{X: dup.X, Score: 654321}},
+		{P: point.P{X: 8e9, Score: dup.Score}},
+		{P: point.P{X: math.Inf(-1), Score: 2}},
+		{Delete: true, P: point.P{X: -4242, Score: 4242}},
+		{P: point.P{X: -3, Score: -3}},
+	})
+	want := []error{core.ErrDuplicatePosition, core.ErrDuplicateScore, core.ErrInvalidPoint, core.ErrNotFound, nil}
+	for i, err := range res {
+		if !errors.Is(err, want[i]) {
+			t.Fatalf("batch op %d: %v, want %v", i, err, want[i])
+		}
+	}
+	if got := r.Len(); got != 1001 {
+		t.Fatalf("Len after rejected duplicates = %d, want 1001", got)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 
 	// The router must still serve every shard: full-range query, point
-	// update, and batch all succeed afterwards.
+	// update, batch and rebalance all succeed afterwards.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		if got := r.Count(math.Inf(-1), math.Inf(1)); got < 1000 {
-			t.Errorf("Count after panic = %d", got)
+			t.Errorf("Count after rejections = %d", got)
 		}
-		r.Insert(point.P{X: -1, Score: -1})
+		if err := r.Insert(point.P{X: -1, Score: -1}); err != nil {
+			t.Errorf("Insert after rejections: %v", err)
+		}
 		if !r.Delete(point.P{X: -1, Score: -1}) {
-			t.Error("Delete after panic")
+			t.Error("Delete after rejections")
 		}
 		res := r.ApplyBatch([]Op{{P: point.P{X: -2, Score: -2}}})
-		if len(res) != 1 || !res[0] {
-			t.Error("ApplyBatch after panic")
+		if len(res) != 1 || res[0] != nil {
+			t.Errorf("ApplyBatch after rejections: %v", res)
 		}
 		r.Rebalance(2) // needs the write lock: fails if a read lock leaked
 	}()
 	select {
 	case <-done:
 	case <-time.After(30 * time.Second):
-		t.Fatal("router wedged after panic (leaked lock)")
+		t.Fatal("router wedged after rejections (leaked lock)")
 	}
+
+	// A deleted score is free for reuse anywhere in the fleet.
+	if !r.Delete(point.P{X: dup.X, Score: dup.Score}) {
+		t.Fatal("delete dup owner")
+	}
+	if err := r.Insert(point.P{X: 9e9, Score: dup.Score}); err != nil {
+		t.Fatalf("reusing freed score: %v", err)
+	}
+}
+
+// TestQueryBatchMatchesTopK: the multi-query fan-out answers exactly
+// like sequential TopK calls on the same topology, boundary
+// straddlers and degenerate queries included.
+func TestQueryBatchMatchesTopK(t *testing.T) {
+	gen := workload.NewGen(27)
+	pts := gen.Clustered(5000, 3, 1e6)
+	r := Bulk(testOptions(6), pts, 6)
+	rng := rand.New(rand.NewSource(28))
+	specs := gen.Queries(60, 1e6, 0.001, 0.8, 200)
+	specs = append(specs, straddlers(r, 1e6, 200, rng)...)
+	qs := make([]Query, 0, len(specs)+3)
+	for _, q := range specs {
+		qs = append(qs, Query{X1: q.X1, X2: q.X2, K: q.K})
+	}
+	qs = append(qs,
+		Query{X1: 10, X2: 5, K: 3},
+		Query{X1: 0, X2: 1e6, K: 0},
+		Query{X1: math.NaN(), X2: 1, K: 3},
+	)
+	got := r.QueryBatch(qs)
+	if len(got) != len(qs) {
+		t.Fatalf("got %d answers for %d queries", len(got), len(qs))
+	}
+	for i, q := range qs {
+		want := r.TopK(q.X1, q.X2, q.K)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("query %d (%+v):\n got %v\nwant %v", i, q, got[i], want)
+		}
+	}
+	if r.QueryBatch(nil) != nil {
+		t.Fatal("QueryBatch(nil) != nil")
+	}
+}
+
+// TestPerShardPoolSizing: the configured Disk.M is a fleet budget,
+// divided across shards at build time, with the model's 2B floor.
+func TestPerShardPoolSizing(t *testing.T) {
+	opt := Options{Disk: em.Config{B: 64, M: 64 * 64}}.withDefaults()
+	if got := opt.diskFor(1).M; got != 64*64 {
+		t.Fatalf("diskFor(1).M = %d, want %d", got, 64*64)
+	}
+	if got := opt.diskFor(4).M; got != 64*64/4 {
+		t.Fatalf("diskFor(4).M = %d, want %d", got, 64*64/4)
+	}
+	// Defaults resolve before dividing, so the budget is well-defined.
+	def := Options{}.withDefaults()
+	if def.Disk.M != em.DefaultM || def.Disk.B != em.DefaultB {
+		t.Fatalf("defaulted disk = %+v", def.Disk)
+	}
+	// A fleet budget smaller than shards·2B still yields legal
+	// machines (em clamps to the M ≥ 2B floor); the router must work.
+	small := testOptions(8)
+	small.Disk.M = 4 * small.Disk.B
+	r := Bulk(small, workload.NewGen(29).Uniform(2000, 1e6), 8)
+	if r.NumShards() != 8 {
+		t.Fatalf("NumShards = %d", r.NumShards())
+	}
+	rng := rand.New(rand.NewSource(30))
+	checkQueries(t, r, workload.NewGen(29).Uniform(2000, 1e6), straddlers(r, 1e6, 50, rng))
 }
 
 func TestMergeTopKOrder(t *testing.T) {

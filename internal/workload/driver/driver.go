@@ -1,0 +1,105 @@
+// Package driver is the topk-facing side of the workload harness:
+// generators live in the parent package (which stays free of any topk
+// dependency so internal tests across the repository can use it), and
+// everything here is written purely against the topk.Store interface —
+// the same driver code measures the sequential Index, the concurrent
+// Sharded fleet, or any future backend behind Store.
+package driver
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	topk "repro"
+	"repro/internal/workload"
+)
+
+// ToQueries converts generator QuerySpecs to topk.Query values.
+func ToQueries(qs []workload.QuerySpec) []topk.Query {
+	out := make([]topk.Query, len(qs))
+	for i, q := range qs {
+		out[i] = topk.Query{X1: q.X1, X2: q.X2, K: q.K}
+	}
+	return out
+}
+
+// ToBatchOps converts a Mix update stream to Store batch operations.
+func ToBatchOps(ups []workload.Update) []topk.BatchOp {
+	out := make([]topk.BatchOp, len(ups))
+	for i, u := range ups {
+		if u.Delete != nil {
+			out[i] = topk.BatchOp{Delete: true, X: u.Delete.X, Score: u.Delete.Score}
+		} else {
+			out[i] = topk.BatchOp{X: u.Insert.X, Score: u.Insert.Score}
+		}
+	}
+	return out
+}
+
+// ApplyUpdates drives an update stream through st.ApplyBatch in
+// chunks of batchSize (≤ 0 means one batch), returning the per-op
+// errors aligned with ups. Chunks are applied in order, so a Mix
+// stream that deletes points it inserted earlier stays valid.
+func ApplyUpdates(st topk.Store, ups []workload.Update, batchSize int) []error {
+	ops := ToBatchOps(ups)
+	if batchSize <= 0 || batchSize > len(ops) {
+		batchSize = len(ops)
+	}
+	res := make([]error, 0, len(ops))
+	for start := 0; start < len(ops); start += batchSize {
+		end := start + batchSize
+		if end > len(ops) {
+			end = len(ops)
+		}
+		res = append(res, st.ApplyBatch(ops[start:end])...)
+	}
+	return res
+}
+
+// RunBatched measures batched read throughput: totalOps queries are
+// drawn round-robin from qs, issued as QueryBatch calls of batchSize
+// from the given number of goroutines (goroutines > 1 requires a
+// concurrency-safe Store such as Sharded). The returned Throughput
+// counts individual queries (not batches), so it compares directly
+// with workload.RunConcurrent's one-query-per-op numbers — the delta
+// is what the single-lock-acquisition batch path buys.
+func RunBatched(st topk.Store, goroutines, totalOps, batchSize int, qs []workload.QuerySpec) workload.Throughput {
+	if goroutines < 1 {
+		goroutines = 1
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if totalOps < 1 || len(qs) == 0 {
+		return workload.Throughput{Goroutines: goroutines}
+	}
+	tqs := ToQueries(qs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			batch := make([]topk.Query, 0, batchSize)
+			for {
+				lo := next.Add(int64(batchSize)) - int64(batchSize)
+				if lo >= int64(totalOps) {
+					return
+				}
+				hi := lo + int64(batchSize)
+				if hi > int64(totalOps) {
+					hi = int64(totalOps)
+				}
+				batch = batch[:0]
+				for i := lo; i < hi; i++ {
+					batch = append(batch, tqs[i%int64(len(tqs))])
+				}
+				st.QueryBatch(batch)
+			}
+		}()
+	}
+	wg.Wait()
+	return workload.Throughput{Goroutines: goroutines, Ops: totalOps, Elapsed: time.Since(start)}
+}

@@ -7,7 +7,12 @@ import (
 )
 
 // ShardedConfig configures a Sharded index. The embedded Config
-// applies to every shard's EM machine and Theorem 1 structure.
+// applies to every shard's EM machine and Theorem 1 structure, with
+// one deliberate difference: MemoryWords is the FLEET buffer-pool
+// budget, divided evenly across shards whenever they are (re)built —
+// at bulk load, split and rebalance time — so total fleet memory
+// stays O(M) instead of growing with the shard count. Each machine
+// keeps the model's floor of M ≥ 2B.
 type ShardedConfig struct {
 	Config
 	// Shards caps the shard count (default 8). NewSharded starts from
@@ -22,9 +27,9 @@ type ShardedConfig struct {
 	MinSplit int
 }
 
-func (cfg ShardedConfig) options() shard.Options {
-	if cfg.ForcePolylog && cfg.ForceBaseline {
-		panic("topk: ForcePolylog and ForceBaseline are mutually exclusive")
+func (cfg ShardedConfig) options() (shard.Options, error) {
+	if err := cfg.Config.validate(); err != nil {
+		return shard.Options{}, err
 	}
 	return shard.Options{
 		Disk:       em.Config{B: cfg.BlockWords, M: cfg.MemoryWords},
@@ -32,7 +37,7 @@ func (cfg ShardedConfig) options() shard.Options {
 		MaxShards:  cfg.Shards,
 		SkewFactor: cfg.Skew,
 		MinSplit:   cfg.MinSplit,
-	}
+	}, nil
 }
 
 // Sharded is a concurrent top-k index: a position-range-partitioned
@@ -47,21 +52,34 @@ type Sharded struct {
 	r *shard.Router
 }
 
-// NewSharded returns an empty Sharded index with one shard; shards
-// split automatically as data arrives.
-func NewSharded(cfg ShardedConfig) *Sharded {
-	return &Sharded{r: shard.New(cfg.options())}
+// NewSharded returns an empty Sharded index with one shard (shards
+// split automatically as data arrives), or ErrConfig on a
+// contradictory config.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	opt, err := cfg.options()
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{r: shard.New(opt)}, nil
 }
 
 // LoadSharded returns a Sharded index bulk-loaded with pts,
-// pre-partitioned into cfg.Shards equal quantile shards.
-func LoadSharded(cfg ShardedConfig, pts []Result) *Sharded {
-	opt := cfg.options()
+// pre-partitioned into cfg.Shards equal quantile shards. Like Load,
+// it validates pts against the input contract and reports the
+// violated sentinel error.
+func LoadSharded(cfg ShardedConfig, pts []Result) (*Sharded, error) {
+	opt, err := cfg.options()
+	if err != nil {
+		return nil, err
+	}
+	if err := validatePoints(pts); err != nil {
+		return nil, err
+	}
 	ps := make([]point.P, len(pts))
 	for i, r := range pts {
 		ps[i] = point.P{X: r.X, Score: r.Score}
 	}
-	return &Sharded{r: shard.Bulk(opt, ps, opt.MaxShards)}
+	return &Sharded{r: shard.Bulk(opt, ps, opt.MaxShards)}, nil
 }
 
 // Len returns the number of points currently stored.
@@ -70,12 +88,18 @@ func (s *Sharded) Len() int { return s.r.Len() }
 // NumShards returns the current number of shards.
 func (s *Sharded) NumShards() int { return s.r.NumShards() }
 
-// Insert adds the point (pos, score). Positions and scores must be
-// distinct across the live set, as for Index; inserting at an
-// occupied position panics before anything is mutated, so the index
-// stays consistent (recover and carry on, or pre-check with Count).
-func (s *Sharded) Insert(pos, score float64) {
-	s.r.Insert(point.P{X: pos, Score: score})
+// Boundaries returns the current cut positions (len NumShards−1),
+// ascending — introspection for operators and for tests that craft
+// boundary-straddling queries.
+func (s *Sharded) Boundaries() []float64 { return s.r.Boundaries() }
+
+// Insert adds the point (pos, score) under the same error contract as
+// Index.Insert, with the duplicate-score check applied fleet-wide: an
+// equal score on a different shard is rejected with ErrDuplicateScore
+// instead of silently violating the distinct-score assumption. A
+// failed insert mutates nothing, so the index stays consistent.
+func (s *Sharded) Insert(pos, score float64) error {
+	return s.r.Insert(point.P{X: pos, Score: score})
 }
 
 // Delete removes the point (pos, score), reporting whether it was
@@ -88,10 +112,27 @@ func (s *Sharded) Delete(pos, score float64) bool {
 // in descending score order — the same answer, in the same order, as
 // Index.TopK on the same point set.
 func (s *Sharded) TopK(x1, x2 float64, k int) []Result {
-	pts := s.r.TopK(x1, x2, k)
-	out := make([]Result, len(pts))
-	for i, p := range pts {
-		out[i] = Result{X: p.X, Score: p.Score}
+	return toResults(s.r.TopK(x1, x2, k))
+}
+
+// QueryBatch answers qs as one batch under a single topology read
+// lock: work is grouped per shard (each shard's mutex taken once for
+// the whole batch) and distinct shards run in parallel, amortizing
+// the lock acquisitions and goroutine setup a loop of TopK calls
+// would pay per query. Answers align positionally with qs and are
+// byte-identical to sequential TopK calls.
+func (s *Sharded) QueryBatch(qs []Query) [][]Result {
+	if len(qs) == 0 {
+		return nil
+	}
+	sqs := make([]shard.Query, len(qs))
+	for i, q := range qs {
+		sqs[i] = shard.Query{X1: q.X1, X2: q.X2, K: q.K}
+	}
+	lists := s.r.QueryBatch(sqs)
+	out := make([][]Result, len(lists))
+	for i, l := range lists {
+		out[i] = toResults(l)
 	}
 	return out
 }
@@ -99,22 +140,17 @@ func (s *Sharded) TopK(x1, x2 float64, k int) []Result {
 // Count returns the number of stored points with position in [x1, x2].
 func (s *Sharded) Count(x1, x2 float64) int { return s.r.Count(x1, x2) }
 
-// BatchOp is one operation of an ApplyBatch call: an insert of
-// (X, Score), or a delete when Delete is set.
-type BatchOp struct {
-	Delete   bool
-	X, Score float64
-}
-
 // ApplyBatch applies the operations as one concurrent batch: ops are
 // grouped by target shard, each shard is locked once, and groups run
 // in parallel. Within a shard, batch order is preserved; ops on
-// different shards commute (disjoint position ranges), so the batch is
-// equivalent to some sequential interleaving. Returns, per op, whether
-// it took effect: presence for deletes; for inserts, whether the
-// position was free (an insert at an occupied position is rejected
-// with false rather than violating the set contract).
-func (s *Sharded) ApplyBatch(ops []BatchOp) []bool {
+// different shards commute (disjoint position ranges), so the batch
+// is equivalent to some sequential interleaving — but the
+// interleaving is not chosen, so an insert reusing a score deleted on
+// a different shard in the same batch may be rejected; issue such
+// deletes in their own batch first. Returns one error per op under
+// the Store contract (nil = applied, ErrNotFound for absent deletes,
+// Insert sentinels for rejected inserts).
+func (s *Sharded) ApplyBatch(ops []BatchOp) []error {
 	sops := make([]shard.Op, len(ops))
 	for i, op := range ops {
 		sops[i] = shard.Op{Delete: op.Delete, P: point.P{X: op.X, Score: op.Score}}

@@ -25,12 +25,9 @@ func testShardedConfig(shards int) ShardedConfig {
 func TestShardedMatchesIndex(t *testing.T) {
 	for _, shards := range []int{1, 3, 8} {
 		gen := workload.NewGen(int64(40 + shards))
-		pts := make([]Result, 0, 3000)
-		for _, p := range gen.Uniform(3000, 1e6) {
-			pts = append(pts, Result{X: p.X, Score: p.Score})
-		}
-		single := Load(Config{ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048}, pts)
-		sharded := LoadSharded(testShardedConfig(shards), pts)
+		pts := toResults(gen.Uniform(3000, 1e6))
+		single := mustLoad(t, Config{ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048}, pts)
+		sharded := mustLoadSharded(t, testShardedConfig(shards), pts)
 
 		check := func(x1, x2 float64, k int) {
 			t.Helper()
@@ -61,8 +58,8 @@ func TestShardedMatchesIndex(t *testing.T) {
 					t.Fatalf("Delete divergence: single=%v sharded=%v", sok, dok)
 				}
 			} else {
-				single.Insert(u.Insert.X, u.Insert.Score)
-				sharded.Insert(u.Insert.X, u.Insert.Score)
+				mustInsert(t, single, u.Insert.X, u.Insert.Score)
+				mustInsert(t, sharded, u.Insert.X, u.Insert.Score)
 			}
 		}
 		if single.Len() != sharded.Len() {
@@ -75,7 +72,7 @@ func TestShardedMatchesIndex(t *testing.T) {
 }
 
 func TestShardedApplyBatchAndConcurrentReads(t *testing.T) {
-	idx := NewSharded(testShardedConfig(8))
+	idx := mustNewSharded(t, testShardedConfig(8))
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
@@ -88,9 +85,9 @@ func TestShardedApplyBatchAndConcurrentReads(t *testing.T) {
 				for _, p := range gen.Uniform(50, 1000) {
 					ops = append(ops, BatchOp{X: float64(w)*1000 + p.X, Score: float64(w) + p.Score/2})
 				}
-				for i, ok := range idx.ApplyBatch(ops) {
-					if !ok {
-						t.Errorf("batch insert %d reported false", i)
+				for i, err := range idx.ApplyBatch(ops) {
+					if err != nil {
+						t.Errorf("batch insert %d: %v", i, err)
 						return
 					}
 				}
@@ -126,11 +123,8 @@ func TestShardedApplyBatchAndConcurrentReads(t *testing.T) {
 // shards, not a single serialized one.
 func TestLoadShardedDefaults(t *testing.T) {
 	gen := workload.NewGen(31)
-	pts := make([]Result, 0, 4000)
-	for _, p := range gen.Uniform(4000, 1e6) {
-		pts = append(pts, Result{X: p.X, Score: p.Score})
-	}
-	idx := LoadSharded(ShardedConfig{
+	pts := toResults(gen.Uniform(4000, 1e6))
+	idx := mustLoadSharded(t, ShardedConfig{
 		Config: Config{ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048},
 	}, pts)
 	if got := idx.NumShards(); got != 8 {
@@ -139,15 +133,15 @@ func TestLoadShardedDefaults(t *testing.T) {
 	if idx.Len() != len(pts) {
 		t.Fatalf("Len = %d", idx.Len())
 	}
+	if got := len(idx.Boundaries()); got != 7 {
+		t.Fatalf("Boundaries len = %d, want 7", got)
+	}
 }
 
 func TestShardedStatsAndRebalance(t *testing.T) {
 	gen := workload.NewGen(9)
-	pts := make([]Result, 0, 2000)
-	for _, p := range gen.Clustered(2000, 3, 1e6) {
-		pts = append(pts, Result{X: p.X, Score: p.Score})
-	}
-	idx := LoadSharded(testShardedConfig(4), pts)
+	pts := toResults(gen.Clustered(2000, 3, 1e6))
+	idx := mustLoadSharded(t, testShardedConfig(4), pts)
 	if idx.NumShards() != 4 {
 		t.Fatalf("NumShards = %d", idx.NumShards())
 	}

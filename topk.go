@@ -17,10 +17,16 @@
 //
 // Usage:
 //
-//	idx := topk.New(topk.Config{})
-//	idx.Insert(142.50, 9.1) // e.g. price, rating
-//	idx.Insert(99.99, 8.4)
+//	idx, err := topk.New(topk.Config{})
+//	if err != nil { ... }
+//	if err := idx.Insert(142.50, 9.1); err != nil { ... } // e.g. price, rating
+//	if err := idx.Insert(99.99, 8.4); err != nil { ... }
 //	best := idx.TopK(100, 200, 10) // ten best-rated in [100,200]
+//
+// Misuse returns sentinel errors (ErrDuplicatePosition,
+// ErrDuplicateScore, ErrInvalidPoint, ErrConfig) instead of
+// panicking; see store.go for the Store interface both backends
+// implement.
 //
 // The disk is simulated (DESIGN.md, substitution 1): I/Os are counted
 // through an LRU buffer pool exactly as the Aggarwal–Vitter model
@@ -36,6 +42,7 @@ package topk
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/em"
@@ -65,6 +72,15 @@ type Config struct {
 	PolylogLeafCap int
 }
 
+// validate reports ErrConfig-wrapped errors for contradictory
+// settings.
+func (cfg Config) validate() error {
+	if cfg.ForcePolylog && cfg.ForceBaseline {
+		return fmt.Errorf("%w: ForcePolylog and ForceBaseline are mutually exclusive", ErrConfig)
+	}
+	return nil
+}
+
 // Result is one reported point.
 type Result struct {
 	X     float64
@@ -80,26 +96,32 @@ type Index struct {
 	ix   *core.Index
 }
 
-// New returns an empty Index.
-func New(cfg Config) *Index {
-	if cfg.ForcePolylog && cfg.ForceBaseline {
-		panic("topk: ForcePolylog and ForceBaseline are mutually exclusive")
+// New returns an empty Index, or ErrConfig on a contradictory Config.
+func New(cfg Config) (*Index, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	d := em.NewDisk(em.Config{B: cfg.BlockWords, M: cfg.MemoryWords})
-	return &Index{disk: d, ix: core.New(d, coreOptions(cfg))}
+	return &Index{disk: d, ix: core.New(d, coreOptions(cfg))}, nil
 }
 
-// Load returns an Index bulk-loaded with the given points.
-func Load(cfg Config, pts []Result) *Index {
-	if cfg.ForcePolylog && cfg.ForceBaseline {
-		panic("topk: ForcePolylog and ForceBaseline are mutually exclusive")
+// Load returns an Index bulk-loaded with the given points. Besides
+// config problems, it rejects inputs violating the paper's standing
+// assumptions — non-finite coordinates, duplicate positions or
+// duplicate scores — with the corresponding sentinel error.
+func Load(cfg Config, pts []Result) (*Index, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := validatePoints(pts); err != nil {
+		return nil, err
 	}
 	d := em.NewDisk(em.Config{B: cfg.BlockWords, M: cfg.MemoryWords})
 	ps := make([]point.P, len(pts))
 	for i, r := range pts {
 		ps[i] = point.P{X: r.X, Score: r.Score}
 	}
-	return &Index{disk: d, ix: core.Bulk(d, coreOptions(cfg), ps)}
+	return &Index{disk: d, ix: core.Bulk(d, coreOptions(cfg), ps)}, nil
 }
 
 func coreOptions(cfg Config) core.Options {
@@ -120,11 +142,14 @@ func coreOptions(cfg Config) core.Options {
 // Len returns the number of points currently stored.
 func (x *Index) Len() int { return x.ix.Len() }
 
-// Insert adds the point (pos, score). Positions and scores must be
+// Insert adds the point (pos, score). Positions and scores are
 // distinct across the live set (the paper's standing assumption; see
-// §1 footnote 1 for the standard reductions when they are not).
-func (x *Index) Insert(pos, score float64) {
-	x.ix.Insert(point.P{X: pos, Score: score})
+// §1 footnote 1 for the standard reductions when they are not):
+// violations return ErrDuplicatePosition / ErrDuplicateScore, and
+// non-finite coordinates return ErrInvalidPoint. A failed insert
+// mutates nothing.
+func (x *Index) Insert(pos, score float64) error {
+	return x.ix.Insert(point.P{X: pos, Score: score})
 }
 
 // Delete removes the point (pos, score), reporting whether it was
@@ -133,13 +158,63 @@ func (x *Index) Delete(pos, score float64) bool {
 	return x.ix.Delete(point.P{X: pos, Score: score})
 }
 
+// ApplyBatch applies the operations in order (an Index is one
+// sequential machine — there is nothing to parallelize) and returns
+// one error per op under the Store contract: nil for applied ops,
+// ErrNotFound for deletes of absent points, the Insert sentinels for
+// rejected inserts. A rejected op mutates nothing; later ops still
+// run.
+func (x *Index) ApplyBatch(ops []BatchOp) []error {
+	if len(ops) == 0 {
+		return nil
+	}
+	res := make([]error, len(ops))
+	for i, op := range ops {
+		if op.Delete {
+			if !x.Delete(op.X, op.Score) {
+				res[i] = ErrNotFound
+			}
+		} else {
+			res[i] = x.Insert(op.X, op.Score)
+		}
+	}
+	return res
+}
+
 // TopK returns the k highest-scoring points with position in [x1, x2],
 // in descending score order; if fewer than k qualify, all are returned.
+// k ≤ 0, inverted or NaN bounds return nil.
 func (x *Index) TopK(x1, x2 float64, k int) []Result {
-	pts := x.ix.Query(x1, x2, k)
+	if math.IsNaN(x1) || math.IsNaN(x2) {
+		return nil
+	}
+	return toResults(x.ix.Query(x1, x2, k))
+}
+
+// toResults converts internal points; empty in, nil out, so both
+// backends agree byte-for-byte on no-hit queries.
+func toResults(pts []point.P) []Result {
+	if len(pts) == 0 {
+		return nil
+	}
 	out := make([]Result, len(pts))
 	for i, p := range pts {
 		out[i] = Result{X: p.X, Score: p.Score}
+	}
+	return out
+}
+
+// QueryBatch answers qs as a sequential loop of TopK calls, aligned
+// positionally with qs — the Store contract's batched read on a
+// single machine (Sharded amortizes real lock and fan-out costs;
+// here the batch form exists so callers are backend-agnostic).
+func (x *Index) QueryBatch(qs []Query) [][]Result {
+	if len(qs) == 0 {
+		return nil
+	}
+	out := make([][]Result, len(qs))
+	for i, q := range qs {
+		out[i] = x.TopK(q.X1, q.X2, q.K)
 	}
 	return out
 }

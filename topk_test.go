@@ -1,6 +1,8 @@
 package topk
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -14,14 +16,6 @@ func smallCfg() Config {
 	return Config{BlockWords: 32, ForcePolylog: true, PolylogF: 4, PolylogLeafCap: 64}
 }
 
-func toResults(pts []point.P) []Result {
-	out := make([]Result, len(pts))
-	for i, p := range pts {
-		out[i] = Result{X: p.X, Score: p.Score}
-	}
-	return out
-}
-
 func toPoints(rs []Result) []point.P {
 	out := make([]point.P, len(rs))
 	for i, r := range rs {
@@ -30,12 +24,64 @@ func toPoints(rs []Result) []point.P {
 	return out
 }
 
+// Test-side constructors: the error returns are part of the API under
+// test, so every helper asserts them.
+func mustNew(t testing.TB, cfg Config) *Index {
+	t.Helper()
+	idx, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func mustLoad(t testing.TB, cfg Config, pts []Result) *Index {
+	t.Helper()
+	idx, err := Load(cfg, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func mustNewSharded(t testing.TB, cfg ShardedConfig) *Sharded {
+	t.Helper()
+	idx, err := NewSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func mustLoadSharded(t testing.TB, cfg ShardedConfig, pts []Result) *Sharded {
+	t.Helper()
+	idx, err := LoadSharded(cfg, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func mustInsert(t testing.TB, st Store, pos, score float64) {
+	t.Helper()
+	if err := st.Insert(pos, score); err != nil {
+		t.Fatalf("Insert(%v, %v): %v", pos, score, err)
+	}
+}
+
+func insertAll(t testing.TB, st Store, pts []point.P) {
+	t.Helper()
+	for _, p := range pts {
+		mustInsert(t, st, p.X, p.Score)
+	}
+}
+
 func TestQuickstartFlow(t *testing.T) {
-	idx := New(Config{})
-	idx.Insert(142.50, 9.1)
-	idx.Insert(99.99, 8.4)
-	idx.Insert(180.00, 7.7)
-	idx.Insert(250.00, 9.9)
+	idx := mustNew(t, Config{})
+	mustInsert(t, idx, 142.50, 9.1)
+	mustInsert(t, idx, 99.99, 8.4)
+	mustInsert(t, idx, 180.00, 7.7)
+	mustInsert(t, idx, 250.00, 9.9)
 	best := idx.TopK(100, 200, 10)
 	if len(best) != 2 {
 		t.Fatalf("got %d results", len(best))
@@ -57,7 +103,7 @@ func TestQuickstartFlow(t *testing.T) {
 func TestLoadMatchesOracle(t *testing.T) {
 	gen := workload.NewGen(1)
 	pts := gen.Uniform(2500, 1e5)
-	idx := Load(smallCfg(), toResults(pts))
+	idx := mustLoad(t, smallCfg(), toResults(pts))
 	oracle := verify.NewOracle(pts)
 	for _, q := range gen.Queries(120, 1e5, 0.05, 0.6, 40) {
 		got := toPoints(idx.TopK(q.X1, q.X2, q.K))
@@ -68,7 +114,7 @@ func TestLoadMatchesOracle(t *testing.T) {
 }
 
 func TestStatsMeterMoves(t *testing.T) {
-	idx := Load(smallCfg(), toResults(workload.NewGen(2).Uniform(2000, 1e5)))
+	idx := mustLoad(t, smallCfg(), toResults(workload.NewGen(2).Uniform(2000, 1e5)))
 	idx.ResetStats()
 	idx.DropCache()
 	before := idx.Stats()
@@ -82,17 +128,49 @@ func TestStatsMeterMoves(t *testing.T) {
 	}
 }
 
+// TestConfigValidation: contradictory configs are ErrConfig errors
+// from every constructor, not panics.
 func TestConfigValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("conflicting regime flags accepted")
+	bad := Config{ForcePolylog: true, ForceBaseline: true}
+	if _, err := New(bad); !errors.Is(err, ErrConfig) {
+		t.Fatalf("New: %v, want ErrConfig", err)
+	}
+	if _, err := Load(bad, nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("Load: %v, want ErrConfig", err)
+	}
+	if _, err := NewSharded(ShardedConfig{Config: bad}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("NewSharded: %v, want ErrConfig", err)
+	}
+	if _, err := LoadSharded(ShardedConfig{Config: bad}, nil); !errors.Is(err, ErrConfig) {
+		t.Fatalf("LoadSharded: %v, want ErrConfig", err)
+	}
+}
+
+// TestLoadValidatesPoints: bulk loads reject contract-violating
+// inputs with the matching sentinel.
+func TestLoadValidatesPoints(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []Result
+		want error
+	}{
+		{"nan position", []Result{{X: math.NaN(), Score: 1}}, ErrInvalidPoint},
+		{"inf score", []Result{{X: 1, Score: math.Inf(1)}}, ErrInvalidPoint},
+		{"duplicate position", []Result{{X: 1, Score: 1}, {X: 1, Score: 2}}, ErrDuplicatePosition},
+		{"duplicate score", []Result{{X: 1, Score: 1}, {X: 2, Score: 1}}, ErrDuplicateScore},
+	}
+	for _, c := range cases {
+		if _, err := Load(smallCfg(), c.pts); !errors.Is(err, c.want) {
+			t.Errorf("Load %s: %v, want %v", c.name, err, c.want)
 		}
-	}()
-	New(Config{ForcePolylog: true, ForceBaseline: true})
+		if _, err := LoadSharded(ShardedConfig{Config: smallCfg()}, c.pts); !errors.Is(err, c.want) {
+			t.Errorf("LoadSharded %s: %v, want %v", c.name, err, c.want)
+		}
+	}
 }
 
 func TestRegimeAndThresholdExposed(t *testing.T) {
-	idx := Load(smallCfg(), toResults(workload.NewGen(3).Uniform(500, 1e4)))
+	idx := mustLoad(t, smallCfg(), toResults(workload.NewGen(3).Uniform(500, 1e4)))
 	if idx.KThreshold() <= 0 {
 		t.Fatal("threshold")
 	}
@@ -107,21 +185,17 @@ func TestRegimeAndThresholdExposed(t *testing.T) {
 func TestReinsertionCycle(t *testing.T) {
 	// Delete/re-insert cycles of the same keys must work: the §2 tree
 	// keeps stale x-coordinates by design, and every layer has to cope.
-	idx := New(smallCfg())
+	idx := mustNew(t, smallCfg())
 	gen := workload.NewGen(77)
 	pts := gen.Uniform(300, 1e4)
-	for _, p := range pts {
-		idx.Insert(p.X, p.Score)
-	}
+	insertAll(t, idx, pts)
 	for round := 0; round < 4; round++ {
 		for _, p := range pts {
 			if !idx.Delete(p.X, p.Score) {
 				t.Fatalf("round %d: delete failed", round)
 			}
 		}
-		for _, p := range pts {
-			idx.Insert(p.X, p.Score)
-		}
+		insertAll(t, idx, pts)
 	}
 	oracle := verify.NewOracle(pts)
 	for _, q := range gen.Queries(40, 1e4, 0.1, 0.6, 12) {
@@ -138,7 +212,7 @@ func TestQuickPublicAPI(t *testing.T) {
 			ops = ops[:60]
 		}
 		rng := rand.New(rand.NewSource(seed))
-		idx := New(Config{BlockWords: 8, ForcePolylog: true, PolylogF: 3, PolylogLeafCap: 16})
+		idx := mustNew(t, Config{BlockWords: 8, ForcePolylog: true, PolylogF: 3, PolylogLeafCap: 16})
 		oracle := verify.NewOracle(nil)
 		usedX := map[float64]bool{}
 		for _, op := range ops {
@@ -148,7 +222,9 @@ func TestQuickPublicAPI(t *testing.T) {
 					continue
 				}
 				usedX[p.X] = true
-				idx.Insert(p.X, p.Score)
+				if err := idx.Insert(p.X, p.Score); err != nil {
+					return false
+				}
 				oracle.Insert(p)
 			} else {
 				live := oracle.Live()
