@@ -475,3 +475,46 @@ func BenchmarkApplyBatch(b *testing.B) {
 }
 
 var _ = point.P{} // keep the import for helper extensions
+
+// BenchmarkChurnLifecycle: the full shard lifecycle — bulk load a
+// full fleet, batch-delete 90% (driving merges), then query the
+// shrunken survivor set — with the merge policy on vs off. Reports
+// the post-churn shard count; CI runs this with -benchtime=1x as a
+// smoke test so the delete/merge path cannot silently rot.
+func BenchmarkChurnLifecycle(b *testing.B) {
+	gen := workload.NewGen(26)
+	pts := toResults(gen.Uniform(1<<12, 1e6))
+	specs := gen.Queries(64, 1e6, 0.0005, 0.02, 32)
+	for _, mode := range []struct {
+		name     string
+		minMerge int
+	}{{"merge=on", 0}, {"merge=off", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var shards float64
+			for i := 0; i < b.N; i++ {
+				cfg := testShardedConfig(8)
+				cfg.MinMerge = mode.minMerge
+				st := mustLoadSharded(b, cfg, pts)
+				del := make([]BatchOp, 0, len(pts)*9/10)
+				for j, p := range pts {
+					if j%10 != 0 {
+						del = append(del, BatchOp{Delete: true, X: p.X, Score: p.Score})
+					}
+				}
+				for _, err := range st.ApplyBatch(del) {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := st.CheckInvariants(); err != nil {
+					b.Fatal(err)
+				}
+				for _, q := range specs {
+					st.TopK(q.X1, q.X2, q.K)
+				}
+				shards += float64(st.NumShards())
+			}
+			b.ReportMetric(shards/float64(b.N), "shards")
+		})
+	}
+}

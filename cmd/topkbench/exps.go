@@ -644,3 +644,76 @@ func e15(quick bool) {
 	res := driver.RunBatched(single, 1, ops, 16, queries)
 	fmt.Printf("%22s %6d %12.0f\n", "index QueryBatch/16", 1, res.QPS())
 }
+
+// ---------------------------------------------------------------- E16
+
+// e16 measures the shard lifecycle under delete-heavy churn: bulk
+// load a full 8-shard fleet, delete 95% of the points, then measure
+// query throughput — with the delete-triggered merge policy enabled
+// vs disabled (MinMerge < 0). Without merges the fleet stays stranded
+// at 8 near-empty shards, each still paying its fixed overhead
+// (buffer-pool floor of 2B words, fan-out goroutines, lock
+// acquisitions); with merges the survivors coalesce and per-query
+// cost tracks the live set again.
+func e16(quick bool) {
+	// Sizing: survivors per shard must land below the merge triggers
+	// (MinMerge floor = MinSplit/2 = 128 here) or the experiment
+	// demonstrates nothing — n/20/8 = 102 at full size, 25 at -quick.
+	n := 1 << 14
+	ops := 12000
+	if quick {
+		n = 1 << 12
+		ops = 3000
+	}
+	gen := workload.NewGen(61)
+	pts := make([]topk.Result, 0, n)
+	for _, p := range gen.Uniform(n, 1e6) {
+		pts = append(pts, topk.Result{X: p.X, Score: p.Score})
+	}
+	cfg := topk.Config{BlockWords: 64, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048}
+	queries := gen.Queries(256, 1e6, 0.0005, 0.02, 64)
+
+	fmt.Printf("%10s %8s %8s %8s %12s\n", "merges", "shards", "n live", "#merged", "qps (g=8)")
+	for _, enabled := range []bool{false, true} {
+		scfg := topk.ShardedConfig{Config: cfg, Shards: 8, MinSplit: 256}
+		if !enabled {
+			scfg.MinMerge = -1
+		}
+		st, err := topk.LoadSharded(scfg, pts)
+		if err != nil {
+			panic(err)
+		}
+		// Delete 95% in batches, the serving-path shape that triggers
+		// the merge hook on the batch unlock path.
+		del := make([]topk.BatchOp, 0, n-n/20)
+		for i, p := range pts {
+			if i%20 != 0 {
+				del = append(del, topk.BatchOp{Delete: true, X: p.X, Score: p.Score})
+			}
+		}
+		for len(del) > 0 {
+			chunk := del
+			if len(chunk) > 512 {
+				chunk = del[:512]
+			}
+			for i, err := range st.ApplyBatch(chunk) {
+				if err != nil {
+					panic(fmt.Sprintf("delete %d: %v", i, err))
+				}
+			}
+			del = del[len(chunk):]
+		}
+		if err := st.CheckInvariants(); err != nil {
+			panic(err)
+		}
+		res := workload.RunConcurrent(8, ops, queries, func(q workload.QuerySpec) {
+			st.TopK(q.X1, q.X2, q.K)
+		})
+		mode := "enabled"
+		if !enabled {
+			mode = "disabled"
+		}
+		fmt.Printf("%10s %8d %8d %8d %12.0f\n", mode, st.NumShards(), st.Len(), st.Merges(), res.QPS())
+	}
+	fmt.Println("shape check: with merges enabled the shard count collapses toward the shrunken live set.")
+}

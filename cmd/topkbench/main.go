@@ -41,6 +41,7 @@ var experiments = []experiment{
 	{"e13", "§1.1 RAM baseline: comparisons scale as lg n + k", e13},
 	{"e14", "Ablations: pool size, φ, adaptive selection, sketch base", e14},
 	{"e15", "Serving layer (Store v1): TopK vs QueryBatch throughput", e15},
+	{"e16", "Shard lifecycle: delete-churn qps and shard count, merges on vs off", e16},
 }
 
 func main() {

@@ -23,17 +23,28 @@
 // "message":"..."}} with the code derived from the topk sentinel
 // errors (duplicate_position and duplicate_score map to 409,
 // invalid_point and malformed requests to 400).
+//
+// /v1/stats reports the fleet I/O meters and, on the sharded backend,
+// the shard count and split/merge lifecycle counters. On
+// SIGINT/SIGTERM the server drains in-flight requests (bounded by
+// -drain) and exits 0.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"sync"
+	"syscall"
+	"time"
 
 	topk "repro"
 	"repro/internal/workload"
@@ -45,11 +56,13 @@ func main() {
 	shards := flag.Int("shards", 8, "maximum shard count (sharded backend)")
 	b := flag.Int("B", 64, "block size in words per shard disk")
 	m := flag.Int("M", 0, "buffer-pool words (fleet total when sharded; 0 = default)")
+	minMerge := flag.Int("min-merge", 0, "shard size floor of the delete-triggered merge policy (0 = default min-split/2; negative disables merging)")
 	n := flag.Int("n", 0, "synthetic points to preload")
 	seed := flag.Int64("seed", 1, "preload workload seed")
 	forcePolylog := flag.Bool("force-polylog", true, "pin the §3.3 small-k component instead of the automatic regime test")
 	polylogF := flag.Int("polylog-f", 8, "§3.3 tree fanout f (0 = the paper's √(B·lg n))")
 	polylogLeafCap := flag.Int("polylog-leaf-cap", 2048, "§3.3 leaf capacity (0 = the paper's f·l·B)")
+	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 	flag.Parse()
 
 	cfg := topk.ShardedConfig{
@@ -60,7 +73,8 @@ func main() {
 			PolylogF:       *polylogF,
 			PolylogLeafCap: *polylogLeafCap,
 		},
-		Shards: *shards,
+		Shards:   *shards,
+		MinMerge: *minMerge,
 	}
 	var pts []topk.Result
 	if *n > 0 {
@@ -73,8 +87,35 @@ func main() {
 	if err != nil {
 		log.Fatalf("topkd: %v", err)
 	}
-	log.Printf("topkd: serving %s backend (n=%d) on %s", *backend, st.Len(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newServer(st)))
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("topkd: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("topkd: serving %s backend (n=%d) on %s", *backend, st.Len(), ln.Addr())
+	if err := serve(ctx, &http.Server{Handler: newServer(st)}, ln, *drain); err != nil {
+		log.Fatalf("topkd: %v", err)
+	}
+	log.Printf("topkd: drained, exiting")
+}
+
+// serve runs srv on ln until the listener fails or ctx is cancelled
+// (SIGINT/SIGTERM via signal.NotifyContext in main). On cancellation
+// it drains: Shutdown stops accepting, lets in-flight requests — a
+// /v1/batch mid-write included — complete within the drain budget,
+// and returns nil on a clean exit so topkd exits 0.
+func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // Serve only returns on failure (ErrServerClosed needs Shutdown)
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
 }
 
 // newStore builds the chosen backend behind the Store interface.
@@ -275,6 +316,15 @@ func newServer(st topk.Store) http.Handler {
 		}
 		if sh, ok := st.(interface{ NumShards() int }); ok {
 			out["shards"] = sh.NumShards()
+		}
+		// Shard-lifecycle counters: how many automatic splits and
+		// delete-triggered merges the router has performed.
+		if lc, ok := st.(interface {
+			Splits() int64
+			Merges() int64
+		}); ok {
+			out["splits"] = lc.Splits()
+			out["merges"] = lc.Merges()
 		}
 		writeJSON(w, out)
 	})

@@ -1,13 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	topk "repro"
 )
@@ -456,5 +460,98 @@ func TestConcurrentClients(t *testing.T) {
 	decode(t, resp, &st)
 	if st.N != 8*25 {
 		t.Fatalf("n = %d, want %d", st.N, 8*25)
+	}
+}
+
+// TestGracefulShutdown: cancelling serve's context (what SIGINT/
+// SIGTERM do in main) must let an in-flight request finish and write
+// its response, then return nil so topkd exits 0 — not kill the
+// connection mid-write.
+func TestGracefulShutdown(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- serve(ctx, &http.Server{Handler: h}, ln, 5*time.Second) }()
+
+	reqDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("status %d", resp.StatusCode)
+			} else if _, rerr := io.ReadAll(resp.Body); rerr != nil {
+				err = rerr
+			}
+		}
+		reqDone <- err
+	}()
+
+	<-entered // the request is in flight
+	cancel()  // "SIGTERM"
+	select {
+	case err := <-served:
+		t.Fatalf("serve returned before draining: %v", err)
+	case <-time.After(50 * time.Millisecond):
+		// still draining, as it should be
+	}
+	close(release)
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after the in-flight request finished")
+	}
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request was not drained cleanly: %v", err)
+	}
+	// New connections must be refused after shutdown.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/"); err == nil {
+		t.Fatal("server still accepting after Shutdown")
+	}
+}
+
+// TestStatsLifecycleCounters: the sharded backend reports shard
+// split/merge counters under /v1/stats; the single backend, which has
+// no lifecycle, omits them.
+func TestStatsLifecycleCounters(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	decode(t, resp, &st)
+	for _, key := range []string{"shards", "splits", "merges"} {
+		if _, ok := st[key]; !ok {
+			t.Fatalf("stats missing %q: %v", key, st)
+		}
+	}
+
+	single := httptest.NewServer(newServer(newTestStore(t, "single")))
+	defer single.Close()
+	resp, err = http.Get(single.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sst map[string]any
+	decode(t, resp, &sst)
+	for _, key := range []string{"shards", "splits", "merges"} {
+		if _, ok := sst[key]; ok {
+			t.Fatalf("single backend reported %q: %v", key, sst)
+		}
 	}
 }

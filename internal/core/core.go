@@ -306,6 +306,14 @@ func (ix *Index) Query(x1, x2 float64, k int) []point.P {
 	if k <= 0 || x1 > x2 || ix.n == 0 {
 		return nil
 	}
+	if k > ix.n {
+		// Clamp before anything sizes a buffer by k: no query can
+		// return more than n points, and the selection paths
+		// preallocate k-proportional buffers — an absurd caller k must
+		// not drive an allocation. The answer is unchanged (k ≥ n
+		// already reported every qualifying point).
+		k = ix.n
+	}
 	if k >= ix.KThreshold() {
 		// Regime 1: k ≥ B·lg n — the §2 structure's O(lg n + k/B) is
 		// O(k/B) here.

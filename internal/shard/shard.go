@@ -28,8 +28,13 @@
 // shard's points are scanned out with core.Live, cut at the median
 // position, and rebuilt into two halves with core.Bulk — the cost is
 // amortized against the insertions that caused the overload, the same
-// argument as the paper's global rebuilding. Rebalance re-partitions
-// the whole router into equal quantile shards on demand.
+// argument as the paper's global rebuilding. Symmetrically, shards
+// merge when deletions leave one underloaded (see Options.MinMerge):
+// the shard is coalesced with its smaller adjacent neighbor, the cost
+// amortized against the deletions that emptied it, so a delete-heavy
+// workload cannot degenerate the fleet into many near-empty shards
+// each paying fixed per-shard overhead. Rebalance re-partitions the
+// whole router into equal quantile shards on demand.
 package shard
 
 import (
@@ -71,6 +76,23 @@ type Options struct {
 	// MinSplit is the smallest shard size eligible for splitting
 	// (default 512), so tiny indexes stay on one machine.
 	MinSplit int
+	// MinMerge is the shard size below which a shard is
+	// unconditionally considered underloaded and eligible for merging
+	// with a neighbor (default MinSplit/2). Above the floor, a shard is
+	// underloaded only when it holds less than 1/SkewFactor of the
+	// fair share n/MaxShards — the mirror image of the split trigger.
+	// The absolute floor matters after heavy deletes: the fair share
+	// itself shrinks with n, so without it a fleet of near-empty
+	// shards would never coalesce. Negative disables merging entirely
+	// (splits still happen); 0 selects the default.
+	//
+	// Hysteresis against split/merge flapping is structural: a merge
+	// is skipped when the combined shard would itself satisfy the
+	// split policy's size test, so no merge can create a shard that an
+	// insert would immediately cut back apart; and the default floor
+	// of MinSplit/2 keeps the halves produced by a split (each at
+	// least MinSplit/2 points) at or above the merge floor.
+	MinMerge int
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +104,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MinSplit <= 0 {
 		o.MinSplit = 512
+	}
+	if o.MinMerge == 0 {
+		o.MinMerge = o.MinSplit / 2
+		if o.MinMerge < 1 {
+			o.MinMerge = 1
+		}
 	}
 	if o.Disk.B <= 0 {
 		o.Disk.B = em.DefaultB
@@ -147,10 +175,24 @@ type Router struct {
 	// takes a shard lock.
 	n atomic.Int64
 
-	// retired accumulates the meters of disks discarded by splits and
-	// rebalances, so aggregate Stats never lose history. Guarded by mu
-	// (write mode).
+	// retired accumulates the transfer counters of disks discarded by
+	// splits, merges and rebalances, so aggregate Stats never lose
+	// history. Space gauges are stripped at retire time (a discarded
+	// disk holds no live blocks once its shard is rebuilt). Guarded by
+	// mu (write mode).
 	retired em.Stats
+
+	// splits and merges count topology changes since creation —
+	// operator-facing lifecycle counters surfaced by cmd/topkd.
+	splits atomic.Int64
+	merges atomic.Int64
+
+	// peak is the high-water mark of the FLEET-wide live-block total,
+	// sampled whenever the fleet total is observed: at Stats calls and
+	// after every topology change. Unlike a sum of per-shard peaks
+	// (an upper bound no instant ever reached), this is a total some
+	// instant actually held.
+	peak atomic.Int64
 
 	// scores is the router-level duplicate-score guard: the set of all
 	// live scores across the fleet, with its own mutex so parallel
@@ -185,11 +227,13 @@ func (r *Router) releaseScore(score float64) {
 // which splits as skew develops.
 func New(opt Options) *Router {
 	opt = opt.withDefaults()
-	return &Router{
+	r := &Router{
 		opt:    opt,
 		shards: []*shard{newShard(opt, opt.diskFor(1), math.Inf(-1), math.Inf(1), nil)},
 		scores: map[float64]struct{}{},
 	}
+	r.observeFleetPeak()
+	return r
 }
 
 // Bulk builds a Router over pts, pre-partitioned into min(shards,
@@ -210,6 +254,7 @@ func Bulk(opt Options, pts []point.P, shards int) *Router {
 		r.scores[p.Score] = struct{}{}
 	}
 	r.n.Store(int64(len(pts)))
+	r.observeFleetPeak()
 	return r
 }
 
@@ -358,29 +403,100 @@ func (r *Router) insertShard(s *shard, p point.P) (int, error) {
 	return s.ix.Len(), nil
 }
 
-// Delete removes p, reporting whether it was present.
+// Delete removes p, reporting whether it was present. Deletions are
+// the mirror image of insertions: where Insert re-checks for an
+// overloaded shard and splits, Delete re-checks for an underloaded one
+// and merges it away.
 func (r *Router) Delete(p point.P) bool {
+	found, under := r.deleteLocked(p)
+	if under {
+		r.mergeUnderloaded()
+	}
+	return found
+}
+
+// deleteLocked performs the delete under the topology read lock and
+// reports whether the target shard came out mergeable.
+func (r *Router) deleteLocked(p point.P) (found, under bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	s := r.shards[r.locate(p.X)]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.ix.Delete(p) {
-		return false
+	si := r.locate(p.X)
+	s := r.shards[si]
+	ln, ok := func() (int, bool) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if !s.ix.Delete(p) {
+			return 0, false
+		}
+		return s.ix.Len(), true
+	}()
+	if !ok {
+		return false, false
 	}
 	r.releaseScore(p.Score)
-	r.n.Add(-1)
-	return true
+	return true, r.mergeable(si, ln, r.n.Add(-1))
+}
+
+// mergeable reports whether the shard at index si (now holding ln
+// points) qualifies for a merge that some pass could actually
+// perform: underloaded AND coalescing with at least one adjacent
+// neighbor would survive the hysteresis veto. Checking the veto here,
+// on the observation path, keeps a wedged shard — one whose only
+// neighbors are too heavy to absorb it — from sending every
+// subsequent delete through an exclusive write lock for a guaranteed
+// no-op pass. Caller holds mu in read mode and no shard mutex (the
+// neighbors' mutexes are taken briefly to read their sizes).
+func (r *Router) mergeable(si, ln int, total int64) bool {
+	if !r.underloaded(ln, total) {
+		return false
+	}
+	for _, ni := range [2]int{si - 1, si + 1} {
+		if ni < 0 || ni >= len(r.shards) {
+			continue
+		}
+		nb := r.shards[ni]
+		nb.mu.Lock()
+		nl := nb.ix.Len()
+		nb.mu.Unlock()
+		if !r.splitSize(ln+nl, total) {
+			return true
+		}
+	}
+	return false
+}
+
+// splitSize reports whether a shard of size ln trips the split
+// policy's size thresholds (the shard-count cap is checked
+// separately): at least MinSplit points and more than SkewFactor times
+// the fair share n/MaxShards. Caller holds mu (either mode).
+func (r *Router) splitSize(ln int, total int64) bool {
+	if ln < r.opt.MinSplit {
+		return false
+	}
+	fair := float64(total) / float64(r.opt.MaxShards)
+	return float64(ln) > r.opt.SkewFactor*fair
 }
 
 // overloaded applies the split policy to a shard of size ln with the
 // given live total. Caller holds mu (either mode).
 func (r *Router) overloaded(ln int, total int64) bool {
-	if len(r.shards) >= r.opt.MaxShards || ln < r.opt.MinSplit {
+	return len(r.shards) < r.opt.MaxShards && r.splitSize(ln, total)
+}
+
+// underloaded applies the merge policy to a shard of size ln with the
+// given live total: below the MinMerge floor a shard always
+// qualifies; above it, only when it holds less than 1/SkewFactor of
+// the fair share — the mirror image of the split trigger. Caller
+// holds mu (either mode).
+func (r *Router) underloaded(ln int, total int64) bool {
+	if r.opt.MinMerge < 0 || len(r.shards) <= 1 {
 		return false
 	}
+	if ln < r.opt.MinMerge {
+		return true
+	}
 	fair := float64(total) / float64(r.opt.MaxShards)
-	return float64(ln) > r.opt.SkewFactor*fair
+	return float64(ln) < fair/r.opt.SkewFactor
 }
 
 // splitOverloaded re-checks the split policy under the write lock and
@@ -406,8 +522,10 @@ func (r *Router) splitOverloaded() {
 			disk := r.opt.diskFor(len(r.shards) + 1)
 			left := newShard(r.opt, disk, s.lo, cut, pts[:mid])
 			right := newShard(r.opt, disk, cut, s.hi, pts[mid:])
-			r.retired = addStats(r.retired, s.d.Stats())
+			r.retire(s)
 			r.shards = append(r.shards[:i:i], append([]*shard{left, right}, r.shards[i+1:]...)...)
+			r.splits.Add(1)
+			r.observeFleetPeak()
 			split = true
 			break
 		}
@@ -416,6 +534,119 @@ func (r *Router) splitOverloaded() {
 		}
 	}
 }
+
+// mergeUnderloaded re-checks the merge policy under the write lock and
+// coalesces qualifying shards with their neighbors until none
+// qualifies. Re-checking is required for the same reason as in
+// splitOverloaded: between the RUnlock that observed the underload and
+// this write lock, another goroutine may already have merged (or
+// refilled the shard).
+func (r *Router) mergeUnderloaded() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.mergeOnce() {
+	}
+}
+
+// mergeOnce coalesces the smallest underloaded shard with its smaller
+// adjacent neighbor and reports whether a merge happened. Candidates
+// are tried smallest-first; one is skipped when the combined shard
+// would itself trip the split policy's size test (the hysteresis that
+// prevents split/merge flapping — e.g. an emptied shard wedged between
+// two heavy ones stays put rather than fattening a neighbor the next
+// insert would cut apart). Caller holds mu in write mode.
+func (r *Router) mergeOnce() bool {
+	total := r.n.Load()
+	var cand []int
+	for i, s := range r.shards {
+		if r.underloaded(s.ix.Len(), total) {
+			cand = append(cand, i)
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		return r.shards[cand[a]].ix.Len() < r.shards[cand[b]].ix.Len()
+	})
+	for _, i := range cand {
+		j := i - 1
+		if i == 0 || (i+1 < len(r.shards) && r.shards[i+1].ix.Len() < r.shards[i-1].ix.Len()) {
+			j = i + 1
+		}
+		if r.splitSize(r.shards[i].ix.Len()+r.shards[j].ix.Len(), total) {
+			continue
+		}
+		if j < i {
+			i, j = j, i
+		}
+		r.coalesce(i, j)
+		return true
+	}
+	return false
+}
+
+// coalesce replaces adjacent shards lo and lo+1 with one shard over
+// their union range, rebuilt with core.Bulk on a fresh disk sized for
+// the shrunken fleet. The rebuild cost is amortized against the
+// deletions that underloaded the shard — the same argument as the
+// paper's global rebuilding. Caller holds mu in write mode.
+func (r *Router) coalesce(lo, hi int) {
+	a, b := r.shards[lo], r.shards[hi]
+	pts := append(a.ix.Live(), b.ix.Live()...)
+	point.SortByX(pts)
+	merged := newShard(r.opt, r.opt.diskFor(len(r.shards)-1), a.lo, b.hi, pts)
+	r.retire(a)
+	r.retire(b)
+	r.shards = append(r.shards[:lo:lo], append([]*shard{merged}, r.shards[hi+1:]...)...)
+	r.merges.Add(1)
+	r.observeFleetPeak()
+}
+
+// transfers strips the space gauges from a discarded disk's meter,
+// leaving the form in which it may join the retired history: the
+// gauges describe blocks that cease to exist with the disk, so
+// keeping them would double-count the fleet footprint against the
+// rebuilt shard's fresh disk.
+func transfers(st em.Stats) em.Stats {
+	st.BlocksLive, st.BlocksPeak = 0, 0
+	return st
+}
+
+// retire folds a discarded disk's transfer counters into the retired
+// history. Caller holds mu in write mode.
+func (r *Router) retire(s *shard) {
+	r.retired = addStats(r.retired, transfers(s.d.Stats()))
+}
+
+// observeFleetPeak samples the fleet-wide live-block total into the
+// peak watermark. Callers hold mu in write mode (or own the router
+// exclusively, at construction), so no shard mutex can be concurrently
+// held and the meters are stable.
+func (r *Router) observeFleetPeak() {
+	var live int64
+	for _, s := range r.shards {
+		live += s.d.Stats().BlocksLive
+	}
+	r.observePeak(live)
+}
+
+// observePeak folds one observation of the fleet live total into the
+// peak watermark and returns the watermark.
+func (r *Router) observePeak(live int64) int64 {
+	for {
+		cur := r.peak.Load()
+		if live <= cur {
+			return cur
+		}
+		if r.peak.CompareAndSwap(cur, live) {
+			return live
+		}
+	}
+}
+
+// Splits returns the number of shard splits since creation.
+func (r *Router) Splits() int64 { return r.splits.Load() }
+
+// Merges returns the number of shard merges since creation.
+func (r *Router) Merges() int64 { return r.merges.Load() }
 
 // Rebalance re-partitions the router into up to target equal quantile
 // shards (capped at MaxShards; target < 1 means MaxShards), preserving
@@ -430,7 +661,7 @@ func (r *Router) Rebalance(target int) {
 	retired := r.retired
 	for _, s := range r.shards {
 		all = append(all, s.ix.Live()...)
-		retired = addStats(retired, s.d.Stats())
+		retired = addStats(retired, transfers(s.d.Stats()))
 	}
 	point.SortByX(all)
 	// Build first, commit after: if the rebuild panics (e.g. a
@@ -440,6 +671,7 @@ func (r *Router) Rebalance(target int) {
 	shards := partition(r.opt, all, target)
 	r.retired = retired
 	r.shards = shards
+	r.observeFleetPeak()
 }
 
 // panicBox carries a recovered panic value across goroutines with a
@@ -631,18 +863,24 @@ func (r *Router) ApplyBatch(ops []Op) []error {
 		return nil
 	}
 	res := make([]error, len(ops))
-	if r.applyBatchLocked(ops, res) {
+	over, under := r.applyBatchLocked(ops, res)
+	if over {
 		r.splitOverloaded()
+	}
+	if under {
+		r.mergeUnderloaded()
 	}
 	return res
 }
 
 // applyBatchLocked runs the batch under the topology read lock and
-// reports whether any touched shard came out overloaded. The live
-// counter is maintained per op so it stays accurate even if a worker
-// panics mid-batch (internal invariant violations only; contract
-// violations are rejected per op).
-func (r *Router) applyBatchLocked(ops []Op, res []error) bool {
+// reports whether any touched shard came out overloaded or
+// underloaded (splits run before merges; hysteresis in the merge pass
+// guarantees the two cannot undo each other). The live counter is
+// maintained per op so it stays accurate even if a worker panics
+// mid-batch (internal invariant violations only; contract violations
+// are rejected per op).
+func (r *Router) applyBatchLocked(ops []Op, res []error) (over, under bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	groups := make(map[int][]int, len(r.shards))
@@ -659,10 +897,12 @@ func (r *Router) applyBatchLocked(ops []Op, res []error) bool {
 		groups[si] = append(groups[si], i)
 	}
 	lens := make([]int, len(groups)) // final sizes of touched shards
+	sis := make([]int, len(groups))  // their topology indexes
 	fns := make([]func(), 0, len(groups))
 	nextSlot := 0
 	for si, idxs := range groups {
 		s, idxs, slot := r.shards[si], idxs, nextSlot
+		sis[slot] = si
 		nextSlot++
 		fns = append(fns, func() {
 			s.mu.Lock()
@@ -688,12 +928,17 @@ func (r *Router) applyBatchLocked(ops []Op, res []error) bool {
 	}
 	runParallel(fns)
 	total := r.n.Load()
-	for _, ln := range lens {
+	for slot, ln := range lens {
 		if r.overloaded(ln, total) {
-			return true
+			over = true
+		}
+		// All workers are done, so no shard mutex is held and
+		// mergeable may probe neighbor sizes.
+		if !under && r.mergeable(sis[slot], ln, total) {
+			under = true
 		}
 	}
-	return false
+	return over, under
 }
 
 // Query is one read of a QueryBatch: the k highest-scoring points
@@ -768,23 +1013,23 @@ func addStats(a, b em.Stats) em.Stats {
 	}
 }
 
-// Stats aggregates the I/O meters of every shard disk plus the meters
-// of disks retired by splits and rebalances. BlocksPeak is the sum of
-// per-shard peaks (an upper bound on the true simultaneous peak; the
-// shards' disks are independent devices).
+// Stats aggregates the I/O meters of every shard disk plus the
+// transfer counters of disks retired by splits, merges and rebalances
+// (retired space gauges are stripped at retire time — those blocks
+// die with the disk). BlocksLive is the fleet-wide live total;
+// BlocksPeak is the high-water mark of that fleet total as observed
+// at Stats calls and topology changes — a total some instant actually
+// held, not a sum of per-shard peaks from different instants.
 func (r *Router) Stats() em.Stats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := r.retired
-	// Retired space gauges describe freed disks; only transfer counters
-	// carry over.
-	out.BlocksLive = 0
-	out.BlocksPeak = 0
 	for _, s := range r.shards {
 		s.mu.Lock()
 		out = addStats(out, s.d.Stats())
 		s.mu.Unlock()
 	}
+	out.BlocksPeak = r.observePeak(out.BlocksLive)
 	return out
 }
 
@@ -813,12 +1058,18 @@ func (r *Router) DropCache() {
 	}
 }
 
-// CheckInvariants validates every shard's structures, that each live
-// point lies inside its shard's range, and that the atomic live count
-// matches the shards (test helper; takes the write lock).
+// CheckInvariants validates the topology (a contiguous cover of the
+// line by 1..MaxShards shards, as maintained by splits, merges and
+// rebalances), every shard's structures, that each live point lies
+// inside its shard's range, and that the atomic live count and the
+// fleet-wide score set match the shards (test helper; takes the write
+// lock).
 func (r *Router) CheckInvariants() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if len(r.shards) < 1 || len(r.shards) > r.opt.MaxShards {
+		return fmt.Errorf("shard count %d outside [1, MaxShards=%d]", len(r.shards), r.opt.MaxShards)
+	}
 	total := 0
 	prevHi := math.Inf(-1)
 	for i, s := range r.shards {

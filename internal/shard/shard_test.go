@@ -508,6 +508,272 @@ func TestPerShardPoolSizing(t *testing.T) {
 	checkQueries(t, r, workload.NewGen(29).Uniform(2000, 1e6), straddlers(r, 1e6, 50, rng))
 }
 
+// mkRouter hand-builds a router with one shard per point group,
+// cutting between adjacent groups — direct topology construction for
+// policy unit tests (Bulk's equal quantiles can't produce skewed
+// fleets).
+func mkRouter(opt Options, groups [][]point.P) *Router {
+	opt = opt.withDefaults()
+	r := &Router{opt: opt, scores: map[float64]struct{}{}}
+	lo := math.Inf(-1)
+	total := 0
+	for i, g := range groups {
+		point.SortByX(g)
+		hi := math.Inf(1)
+		if i < len(groups)-1 {
+			hi = groups[i+1][0].X
+		}
+		r.shards = append(r.shards, newShard(opt, opt.diskFor(len(groups)), lo, hi, g))
+		for _, p := range g {
+			r.scores[p.Score] = struct{}{}
+		}
+		total += len(g)
+		lo = hi
+	}
+	r.n.Store(int64(total))
+	return r
+}
+
+// band generates n points with x in [x0, x0+width) and globally unique
+// scores starting at scoreBase.
+func band(n int, x0, width, scoreBase float64) []point.P {
+	pts := make([]point.P, n)
+	for i := range pts {
+		pts[i] = point.P{X: x0 + width*float64(i)/float64(n), Score: scoreBase + float64(i)}
+	}
+	return pts
+}
+
+// TestDeleteTriggeredMerge is the lifecycle acceptance test: a fleet
+// bulk-loaded to its cap collapses after 90% of the points are
+// deleted, contents and invariants intact.
+func TestDeleteTriggeredMerge(t *testing.T) {
+	gen := workload.NewGen(41)
+	pts := gen.Uniform(4000, 1e6)
+	r := Bulk(testOptions(8), pts, 8)
+	if r.NumShards() != 8 {
+		t.Fatalf("NumShards = %d, want 8", r.NumShards())
+	}
+	live := append([]point.P(nil), pts...)
+	rng := rand.New(rand.NewSource(42))
+	for len(live) > len(pts)/10 {
+		j := rng.Intn(len(live))
+		if !r.Delete(live[j]) {
+			t.Fatalf("Delete(%v) not found", live[j])
+		}
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	if got := r.NumShards(); got >= 8 {
+		t.Fatalf("NumShards after 90%% deletes = %d, want < 8: %s", got, r)
+	}
+	if r.Merges() == 0 {
+		t.Fatal("Merges() = 0 after heavy deletes")
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	qs := gen.Queries(60, 1e6, 0.001, 0.8, 120)
+	qs = append(qs, straddlers(r, 1e6, 120, rng)...)
+	checkQueries(t, r, live, qs)
+}
+
+// TestMergeDisabled: MinMerge < 0 switches merging off — the
+// benchmark baseline and an operator escape hatch.
+func TestMergeDisabled(t *testing.T) {
+	opt := testOptions(8)
+	opt.MinMerge = -1
+	pts := workload.NewGen(43).Uniform(4000, 1e6)
+	r := Bulk(opt, pts, 8)
+	for _, p := range pts[:3600] {
+		if !r.Delete(p) {
+			t.Fatalf("Delete(%v) not found", p)
+		}
+	}
+	if got := r.NumShards(); got != 8 {
+		t.Fatalf("NumShards with merging disabled = %d, want 8", got)
+	}
+	if r.Merges() != 0 {
+		t.Fatalf("Merges() = %d with merging disabled", r.Merges())
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeHysteresisSkipsSplittableCombination: an emptied shard
+// whose only neighbor is heavy enough that the combined shard would
+// trip the split policy stays put — merging it would just hand the
+// next insert a split, i.e. flapping.
+func TestMergeHysteresisSkipsSplittableCombination(t *testing.T) {
+	opt := Options{
+		Disk:      em.Config{B: 64},
+		Core:      core.Options{Regime: core.RegimePolylog, PolylogF: 8, PolylogLeafCap: 2048},
+		MaxShards: 4,
+		MinSplit:  100,
+	}
+	// Shard sizes 3 / 900 / 300: total 1203, fair share 300.75.
+	// Shard 0 (3 pts) is under the MinMerge floor (50); its only
+	// neighbor holds 900, and 903 > 2·fair = 601.5 trips splitSize —
+	// the merge must be skipped. Shard 2 (300 ≈ fair) is healthy.
+	r := mkRouter(opt, [][]point.P{
+		band(3, 0, 10, 0),
+		band(900, 100, 100, 1000),
+		band(300, 300, 100, 10000),
+	})
+	r.mergeUnderloaded()
+	if got := r.NumShards(); got != 3 {
+		t.Fatalf("NumShards = %d, want 3 (merge should be skipped)", got)
+	}
+	if r.Merges() != 0 {
+		t.Fatalf("Merges() = %d, want 0", r.Merges())
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lighten the heavy neighbor below the threshold (3+250 = 253
+	// combined < 2·fair = 276.5) and the pass must now coalesce the
+	// tiny shard into it.
+	for _, p := range band(900, 100, 100, 1000)[:650] {
+		if !r.Delete(p) {
+			t.Fatalf("Delete(%v) not found", p)
+		}
+	}
+	r.mergeUnderloaded()
+	if got := r.NumShards(); got >= 3 {
+		t.Fatalf("NumShards = %d after lightening, want < 3: %s", got, r)
+	}
+	if r.Merges() == 0 {
+		t.Fatal("no merge after neighbor lightened")
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergePicksSmallerNeighbor: the coalescing partner is the
+// smaller adjacent shard, keeping merged shards as light as possible.
+func TestMergePicksSmallerNeighbor(t *testing.T) {
+	opt := Options{
+		Disk:      em.Config{B: 64},
+		Core:      core.Options{Regime: core.RegimePolylog, PolylogF: 8, PolylogLeafCap: 2048},
+		MaxShards: 8,
+		MinSplit:  1 << 20, // splits (and the hysteresis veto) out of the picture
+		MinMerge:  50,      // explicit: the default MinSplit/2 would floor everything
+	}
+	// 400 / 10 / 100: the tiny middle shard must merge right (100),
+	// not left (400).
+	r := mkRouter(opt, [][]point.P{
+		band(400, 0, 100, 0),
+		band(10, 100, 100, 1000),
+		band(100, 200, 100, 2000),
+	})
+	r.mergeUnderloaded()
+	if got := r.NumShards(); got != 2 {
+		t.Fatalf("NumShards = %d, want 2: %s", got, r)
+	}
+	if got := r.shards[0].ix.Len(); got != 400 {
+		t.Fatalf("left shard len = %d, want 400 (merge went left): %s", got, r)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChurnLifecycle drives the full shard lifecycle — splits from
+// insert pressure, merges from delete pressure, a mid-life rebalance —
+// through randomized interleaved phases, holding the router to the
+// brute-force oracle and its invariants after every phase.
+func TestChurnLifecycle(t *testing.T) {
+	opt := testOptions(8)
+	gen := workload.NewGen(45)
+	rng := rand.New(rand.NewSource(46))
+	r := New(opt)
+	var live []point.P
+
+	checkPhase := func(phase string) {
+		t.Helper()
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		qs := gen.Queries(40, 1e6, 0.001, 0.8, 100)
+		qs = append(qs, straddlers(r, 1e6, 100, rng)...)
+		checkQueries(t, r, live, qs)
+	}
+
+	insertSome := func(n int) {
+		for _, p := range gen.Uniform(n, 1e6) {
+			if err := r.Insert(p); err != nil {
+				t.Fatalf("Insert(%v): %v", p, err)
+			}
+			live = append(live, p)
+		}
+	}
+	deleteSome := func(n int) {
+		for i := 0; i < n && len(live) > 0; i++ {
+			j := rng.Intn(len(live))
+			if !r.Delete(live[j]) {
+				t.Fatalf("Delete(%v) not found", live[j])
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+
+	// Phase 1: grow — splits fire.
+	insertSome(5000)
+	if r.Splits() == 0 {
+		t.Fatalf("no splits after 5000 inserts: %s", r)
+	}
+	checkPhase("grow")
+
+	// Phase 2: shrink by 90% — merges fire.
+	grown := r.NumShards()
+	deleteSome(len(live) * 9 / 10)
+	if r.Merges() == 0 {
+		t.Fatalf("no merges after 90%% deletes: %s", r)
+	}
+	if got := r.NumShards(); got >= grown {
+		t.Fatalf("NumShards %d did not shrink below split-era %d", got, grown)
+	}
+	checkPhase("shrink")
+
+	// Phase 3: mixed batches, deletes first so scores can recycle.
+	for round := 0; round < 4; round++ {
+		var dels []Op
+		for i := 0; i < 100 && len(live) > 0; i++ {
+			j := rng.Intn(len(live))
+			dels = append(dels, Op{Delete: true, P: live[j]})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		for i, err := range r.ApplyBatch(dels) {
+			if err != nil {
+				t.Fatalf("batch delete %d: %v", i, err)
+			}
+		}
+		var ins []Op
+		for _, p := range gen.Uniform(150, 1e6) {
+			ins = append(ins, Op{P: p})
+			live = append(live, p)
+		}
+		for i, err := range r.ApplyBatch(ins) {
+			if err != nil {
+				t.Fatalf("batch insert %d: %v", i, err)
+			}
+		}
+	}
+	checkPhase("batch churn")
+
+	// Phase 4: rebalance, then churn again on the fresh topology.
+	r.Rebalance(0)
+	checkPhase("rebalance")
+	insertSome(2000)
+	deleteSome(len(live) / 2)
+	checkPhase("post-rebalance churn")
+}
+
 func TestMergeTopKOrder(t *testing.T) {
 	lists := [][]point.P{
 		{{X: 1, Score: 9}, {X: 2, Score: 5}, {X: 3, Score: 1}},

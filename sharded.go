@@ -25,6 +25,16 @@ type ShardedConfig struct {
 	// MinSplit is the smallest shard eligible for splitting (default
 	// 512), keeping small indexes on a single machine.
 	MinSplit int
+	// MinMerge is the merge trigger, the split's symmetric
+	// counterpart: after a delete leaves a shard holding fewer than
+	// MinMerge points — or less than 1/Skew of its fair share — the
+	// shard is coalesced with its smaller adjacent neighbor, so a
+	// delete-heavy workload cannot strand the fleet as many near-empty
+	// shards each paying fixed per-shard overhead. 0 selects the
+	// default (MinSplit/2); negative disables merging. Hysteresis is
+	// built in: a merge never produces a shard the split policy would
+	// immediately cut back apart.
+	MinMerge int
 }
 
 func (cfg ShardedConfig) options() (shard.Options, error) {
@@ -37,6 +47,7 @@ func (cfg ShardedConfig) options() (shard.Options, error) {
 		MaxShards:  cfg.Shards,
 		SkewFactor: cfg.Skew,
 		MinSplit:   cfg.MinSplit,
+		MinMerge:   cfg.MinMerge,
 	}, nil
 }
 
@@ -159,13 +170,33 @@ func (s *Sharded) ApplyBatch(ops []BatchOp) []error {
 }
 
 // Rebalance re-partitions into up to target equal quantile shards,
-// preserving contents exactly. Useful after a heavily skewed delete
-// phase; inserts rebalance automatically via splitting.
+// preserving contents exactly. Inserts rebalance automatically via
+// splitting and deletes via merging; Rebalance remains the on-demand
+// full re-partition (e.g. to restore exact quantile cuts).
 func (s *Sharded) Rebalance(target int) { s.r.Rebalance(target) }
 
-// Stats aggregates the I/O meters of every shard's disk (plus disks
-// retired by splits and rebalances). BlocksPeak sums per-shard peaks,
-// an upper bound on the simultaneous peak across the shard fleet.
+// Splits returns the number of automatic shard splits since creation.
+func (s *Sharded) Splits() int64 { return s.r.Splits() }
+
+// Merges returns the number of automatic shard merges since creation
+// — together with Splits, the operator-facing lifecycle counters
+// cmd/topkd reports under /v1/stats.
+func (s *Sharded) Merges() int64 { return s.r.Merges() }
+
+// CheckInvariants validates the shard topology (contiguous cover,
+// count within bounds), every shard's internal structures, and the
+// fleet-wide live count and score set. It is an operator/test
+// diagnostic: it takes the topology write lock and scans every shard,
+// so it is expensive and never called on serving paths.
+func (s *Sharded) CheckInvariants() error { return s.r.CheckInvariants() }
+
+// Stats aggregates the I/O meters of every shard's disk (plus the
+// transfer counters of disks retired by splits, merges and
+// rebalances). BlocksLive is the fleet-wide live-block total;
+// BlocksPeak is the high-water mark of that fleet total as observed
+// at Stats calls and topology changes — a footprint some instant
+// actually held, not a sum of per-shard peaks from different
+// instants.
 func (s *Sharded) Stats() Stats {
 	st := s.r.Stats()
 	return Stats{Reads: st.Reads, Writes: st.Writes, BlocksLive: st.BlocksLive, BlocksPeak: st.BlocksPeak}

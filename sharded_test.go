@@ -138,6 +138,47 @@ func TestLoadShardedDefaults(t *testing.T) {
 	}
 }
 
+// TestMergeAfterHeavyDeletes is the public acceptance test for the
+// shard lifecycle: bulk-load a full 8-shard fleet, delete 90% of the
+// points through the Store interface, and the fleet must coalesce —
+// fewer shards than the split era, invariants intact, answers still
+// byte-identical to a sequential Index over the survivors.
+func TestMergeAfterHeavyDeletes(t *testing.T) {
+	gen := workload.NewGen(71)
+	pts := toResults(gen.Uniform(4000, 1e6))
+	sharded := mustLoadSharded(t, testShardedConfig(8), pts)
+	if sharded.NumShards() != 8 {
+		t.Fatalf("NumShards = %d, want 8", sharded.NumShards())
+	}
+	for _, p := range pts[:3600] {
+		if !sharded.Delete(p.X, p.Score) {
+			t.Fatalf("Delete(%v) not found", p)
+		}
+	}
+	if got := sharded.NumShards(); got >= 8 {
+		t.Fatalf("NumShards after 90%% deletes = %d, want < 8: %s", got, sharded)
+	}
+	if sharded.Merges() == 0 {
+		t.Fatal("Merges() = 0 after heavy deletes")
+	}
+	if err := sharded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	single := mustLoad(t, testShardedConfig(8).Config, pts[3600:])
+	for _, q := range gen.Queries(60, 1e6, 0.001, 0.9, 150) {
+		got, want := sharded.TopK(q.X1, q.X2, q.K), single.TopK(q.X1, q.X2, q.K)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("TopK(%v,%v,%d):\n got %v\nwant %v", q.X1, q.X2, q.K, got, want)
+		}
+	}
+	if got, want := sharded.Len(), 400; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+}
+
 func TestShardedStatsAndRebalance(t *testing.T) {
 	gen := workload.NewGen(9)
 	pts := toResults(gen.Clustered(2000, 3, 1e6))

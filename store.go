@@ -70,7 +70,10 @@ type Store interface {
 	ApplyBatch(ops []BatchOp) []error
 	// TopK returns the k highest-scoring points with position in
 	// [x1, x2] in descending score order; fewer if fewer qualify, nil
-	// for k ≤ 0, inverted or NaN bounds.
+	// for k ≤ 0, inverted or NaN bounds. An oversized k is clamped to
+	// the live size before anything allocates, on both backends and
+	// in QueryBatch — an absurd caller k costs nothing beyond the
+	// points actually reported.
 	TopK(x1, x2 float64, k int) []Result
 	// QueryBatch answers many queries at once, positionally aligned
 	// with qs and byte-identical to calling TopK per query. On

@@ -9,6 +9,7 @@ package topk
 import (
 	"errors"
 	"math"
+	"math/rand"
 	"reflect"
 	"sync"
 	"testing"
@@ -280,4 +281,112 @@ func TestIndexApplyBatchMatchesSequential(t *testing.T) {
 			t.Fatalf("divergence on %+v", q)
 		}
 	}
+}
+
+// TestOversizedKClamped: the library read path must clamp a
+// caller-supplied k to the points actually available before anything
+// allocates — a direct Store user issuing k = MaxInt must get every
+// qualifying point back, not an OOM (topkd clamps over HTTP; the
+// library has to hold the same line on its own).
+func TestOversizedKClamped(t *testing.T) {
+	gen := workload.NewGen(81)
+	pts := toResults(gen.Uniform(500, 1e6))
+	for name, st := range storeBackends(t, pts) {
+		for _, k := range []int{501, 1 << 40, math.MaxInt} {
+			got := st.TopK(math.Inf(-1), math.Inf(1), k)
+			if len(got) != len(pts) {
+				t.Fatalf("%s: TopK(k=%d) returned %d points, want %d", name, k, len(got), len(pts))
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i].Score > got[i-1].Score {
+					t.Fatalf("%s: TopK(k=%d) out of order", name, k)
+				}
+			}
+			batch := st.QueryBatch([]Query{{X1: math.Inf(-1), X2: math.Inf(1), K: k}})
+			if !reflect.DeepEqual(batch[0], got) {
+				t.Fatalf("%s: QueryBatch(k=%d) diverged from TopK", name, k)
+			}
+		}
+	}
+}
+
+// TestChurnDifferential is the lifecycle differential: randomized
+// interleaved inserts, deletes and rebalances drive the sharded
+// router through splits AND merges, and after every phase the router
+// must answer byte-identically to a sequential Index over the same
+// live set, with its invariants intact. Run under -race in CI.
+func TestChurnDifferential(t *testing.T) {
+	cfg := testShardedConfig(8)
+	gen := workload.NewGen(83)
+	sharded := mustNewSharded(t, cfg)
+	single := mustNew(t, cfg.Config)
+
+	apply := func(ins []Result, delFrac float64, rng *rand.Rand, live []Result) []Result {
+		for _, p := range ins {
+			mustInsert(t, sharded, p.X, p.Score)
+			mustInsert(t, single, p.X, p.Score)
+			live = append(live, p)
+		}
+		for target := int(float64(len(live)) * delFrac); target > 0; target-- {
+			j := rng.Intn(len(live))
+			p := live[j]
+			sok, iok := sharded.Delete(p.X, p.Score), single.Delete(p.X, p.Score)
+			if !sok || !iok {
+				t.Fatalf("Delete(%v): sharded=%v index=%v", p, sok, iok)
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		return live
+	}
+
+	checkPhase := func(phase string) {
+		t.Helper()
+		if err := sharded.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		if sharded.Len() != single.Len() {
+			t.Fatalf("%s: Len %d vs %d", phase, sharded.Len(), single.Len())
+		}
+		qs := gen.Queries(50, 1e6, 0.001, 0.9, 150)
+		qs = append(qs, workload.QuerySpec{X1: math.Inf(-1), X2: math.Inf(1), K: 5000})
+		for _, cut := range sharded.Boundaries() {
+			qs = append(qs, workload.QuerySpec{X1: cut - 1e4, X2: cut + 1e4, K: 50})
+		}
+		for _, q := range qs {
+			got, want := sharded.TopK(q.X1, q.X2, q.K), single.TopK(q.X1, q.X2, q.K)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: TopK(%v,%v,%d):\n got %v\nwant %v", phase, q.X1, q.X2, q.K, got, want)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(84))
+	var live []Result
+
+	live = apply(toResults(gen.Uniform(5000, 1e6)), 0, rng, live) // grow: splits
+	if sharded.Splits() == 0 {
+		t.Fatalf("no splits during growth: %s", sharded)
+	}
+	checkPhase("grow")
+	grown := sharded.NumShards()
+
+	live = apply(nil, 0.9, rng, live) // shrink: merges
+	if sharded.Merges() == 0 {
+		t.Fatalf("no merges after 90%% deletes: %s", sharded)
+	}
+	if got := sharded.NumShards(); got >= grown {
+		t.Fatalf("NumShards %d did not shrink below split-era %d", got, grown)
+	}
+	checkPhase("shrink")
+
+	sharded.Rebalance(0) // single is rebalance-free; contents must agree regardless
+	checkPhase("rebalance")
+
+	live = apply(toResults(gen.Uniform(2500, 1e6)), 0.3, rng, live) // refill churn
+	checkPhase("refill")
+	_ = live
 }
