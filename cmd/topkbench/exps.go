@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	topk "repro"
 	"repro/internal/aurs"
@@ -716,4 +717,105 @@ func e16(quick bool) {
 		fmt.Printf("%10s %8d %8d %8d %12.0f\n", mode, st.NumShards(), st.Len(), st.Merges(), res.QPS())
 	}
 	fmt.Println("shape check: with merges enabled the shard count collapses toward the shrunken live set.")
+}
+
+// ---------------------------------------------------------------- E17
+
+// e17 measures what the epoch-snapshot refactor bought: query
+// throughput while concurrent writers churn the fleet hard enough to
+// keep triggering splits, merges and rebalances.
+//
+// "snapshot" is the shipped read path — TopK pins an immutable
+// topology snapshot and holds no topology lock during fan-out.
+// "rlock" emulates the pre-refactor discipline through a wrapper
+// RWMutex: every read holds a read lock for its whole fan-out and
+// every topology change takes the write lock, so a single rebalance
+// stalls behind in-flight reads and (Go RWMutexes prefer writers)
+// stalls every read arriving after it. The emulation reproduces the
+// contention shape, not the old code byte for byte; the acceptance
+// bar is that snapshot reads under writers are no worse than the
+// lock-based routing they replaced.
+func e17(quick bool) {
+	n := 1 << 15
+	readOps := 20000
+	if quick {
+		n = 1 << 13
+		readOps = 4000
+	}
+	gen := workload.NewGen(71)
+	pts := make([]topk.Result, 0, n)
+	for _, p := range gen.Uniform(n, 1e6) {
+		pts = append(pts, topk.Result{X: p.X, Score: p.Score})
+	}
+	cfg := topk.ShardedConfig{
+		Config:   topk.Config{BlockWords: 64, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048},
+		Shards:   8,
+		MinSplit: 256,
+	}
+	queries := gen.Queries(256, 1e6, 0.0005, 0.02, 64)
+
+	fmt.Printf("%10s %8s %12s %8s\n", "routing", "writers", "qps (g=8)", "epoch")
+	for _, writers := range []int{0, 2, 8} {
+		for _, mode := range []string{"snapshot", "rlock"} {
+			st, err := topk.LoadSharded(cfg, pts)
+			if err != nil {
+				panic(err)
+			}
+			var gate sync.RWMutex // the rlock emulation; unused by snapshot mode
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					// Disjoint position/score bands per writer, outside the
+					// preload domain, so churn never collides with reads'
+					// data or other writers.
+					wgen := workload.NewGen(int64(100 + w))
+					lo := 2e6 + float64(w)*1e6
+					round := 0
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						ins := make([]topk.BatchOp, 0, 64)
+						del := make([]topk.BatchOp, 0, 64)
+						for _, p := range wgen.Uniform(64, 1e6) {
+							ins = append(ins, topk.BatchOp{X: lo + p.X, Score: 2 + float64(w) + p.Score/2})
+							del = append(del, topk.BatchOp{Delete: true, X: lo + p.X, Score: 2 + float64(w) + p.Score/2})
+						}
+						st.ApplyBatch(ins)
+						st.ApplyBatch(del)
+						if round++; round%8 == 0 {
+							// The lifecycle event that made the old read lock
+							// hurt: a full re-partition.
+							if mode == "rlock" {
+								gate.Lock()
+								st.Rebalance(8)
+								gate.Unlock()
+							} else {
+								st.Rebalance(8)
+							}
+						}
+					}
+				}(w)
+			}
+			read := func(q workload.QuerySpec) {
+				if mode == "rlock" {
+					gate.RLock()
+					defer gate.RUnlock()
+				}
+				st.TopK(q.X1, q.X2, q.K)
+			}
+			res := workload.RunConcurrent(8, readOps, queries, read)
+			close(stop)
+			wg.Wait()
+			// Epoch counts the topology snapshots the run published — the
+			// rebalances the readers raced.
+			fmt.Printf("%10s %8d %12.0f %8d\n", mode, writers, res.QPS(), st.Epoch())
+		}
+	}
+	fmt.Println("shape check: snapshot qps holds as writers rise; rlock qps dips when rebalances queue behind reads.")
 }

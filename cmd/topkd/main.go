@@ -8,8 +8,10 @@
 // The API is versioned under /v1; the unversioned paths from the
 // first release are kept as thin aliases of the same handlers.
 //
-//	$ topkd -addr :8080 -shards 8 -n 100000
+//	$ topkd -addr :8080 -shards 8 -n 100000 -maintenance 30s
 //	$ curl -s 'localhost:8080/v1/topk?x1=100&x2=200&k=3'
+//	$ curl -s 'localhost:8080/v1/topk?x1=100&x2=200&k=3&offset=3'   # page 2
+//	$ curl -s localhost:8080/v1/metrics                             # Prometheus text format
 //	$ curl -s -X POST localhost:8080/v1/insert -d '{"x":150.5,"score":9.9}'
 //	$ curl -s -X POST localhost:8080/v1/delete -d '{"x":150.5,"score":9.9}'
 //	$ curl -s -X POST localhost:8080/v1/batch -d '{"ops":[
@@ -25,9 +27,13 @@
 // invalid_point and malformed requests to 400).
 //
 // /v1/stats reports the fleet I/O meters and, on the sharded backend,
-// the shard count and split/merge lifecycle counters. On
-// SIGINT/SIGTERM the server drains in-flight requests (bounded by
-// -drain) and exits 0.
+// the shard count and split/merge lifecycle counters; /v1/metrics is
+// the same telemetry in Prometheus text format (plus the topology
+// epoch), served from the lock-free snapshot so scraping never
+// contends with traffic. -maintenance starts the router's background
+// merge/split sweep so an idle fleet keeps adapting. On SIGINT/SIGTERM
+// the server drains in-flight requests (bounded by -drain), stops the
+// maintenance loop and exits 0.
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -56,7 +63,8 @@ func main() {
 	shards := flag.Int("shards", 8, "maximum shard count (sharded backend)")
 	b := flag.Int("B", 64, "block size in words per shard disk")
 	m := flag.Int("M", 0, "buffer-pool words (fleet total when sharded; 0 = default)")
-	minMerge := flag.Int("min-merge", 0, "shard size floor of the delete-triggered merge policy (0 = default min-split/2; negative disables merging)")
+	minMerge := flag.Int("min-merge", 0, "shard size floor of the delete-triggered merge policy (0 = adaptive, starting at min-split/2; negative disables merging)")
+	maintenance := flag.Duration("maintenance", 0, "background maintenance interval for the sharded backend (merge/split sweeps while idle; 0 disables)")
 	n := flag.Int("n", 0, "synthetic points to preload")
 	seed := flag.Int64("seed", 1, "preload workload seed")
 	forcePolylog := flag.Bool("force-polylog", true, "pin the §3.3 small-k component instead of the automatic regime test")
@@ -73,8 +81,9 @@ func main() {
 			PolylogF:       *polylogF,
 			PolylogLeafCap: *polylogLeafCap,
 		},
-		Shards:   *shards,
-		MinMerge: *minMerge,
+		Shards:              *shards,
+		MinMerge:            *minMerge,
+		MaintenanceInterval: *maintenance,
 	}
 	var pts []topk.Result
 	if *n > 0 {
@@ -96,6 +105,13 @@ func main() {
 	log.Printf("topkd: serving %s backend (n=%d) on %s", *backend, st.Len(), ln.Addr())
 	if err := serve(ctx, &http.Server{Handler: newServer(st)}, ln, *drain); err != nil {
 		log.Fatalf("topkd: %v", err)
+	}
+	// Stop the background maintenance loop (sharded backend) after the
+	// last in-flight request has drained.
+	if c, ok := st.(interface{ Close() error }); ok {
+		if err := c.Close(); err != nil {
+			log.Fatalf("topkd: close: %v", err)
+		}
 	}
 	log.Printf("topkd: drained, exiting")
 }
@@ -292,7 +308,25 @@ func newServer(st topk.Store) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad_request", "need float x1, x2 and int k")
 			return
 		}
-		writeJSON(w, map[string]any{"results": toJSON(st.TopK(x1, x2, clampK(st, k)))})
+		// Pagination for large k: ?offset=N skips the N highest-scoring
+		// qualifying points, so a client can walk a huge answer in
+		// pages of k without the server ever allocating beyond the live
+		// size (the clamp below caps offset+k at n first).
+		off := 0
+		if s := r.URL.Query().Get("offset"); s != "" {
+			var err error
+			if off, err = strconv.Atoi(s); err != nil || off < 0 {
+				httpError(w, http.StatusBadRequest, "bad_request", "offset must be a non-negative int")
+				return
+			}
+		}
+		res := st.TopK(x1, x2, clampPage(st, off, k))
+		if off < len(res) {
+			res = res[off:]
+		} else {
+			res = nil
+		}
+		writeJSON(w, map[string]any{"results": toJSON(res), "offset": off})
 	})
 
 	handle("GET", "/count", func(w http.ResponseWriter, r *http.Request) {
@@ -303,6 +337,44 @@ func newServer(st topk.Store) http.Handler {
 			return
 		}
 		writeJSON(w, map[string]any{"count": st.Count(x1, x2)})
+	})
+
+	// Prometheus text-format metrics, the machine-scrapable twin of the
+	// JSON /v1/stats. On the sharded backend everything here is served
+	// from the topology snapshot, atomic counters and brief per-shard
+	// meter reads — a scrape never takes the topology lock, so it
+	// cannot stall lifecycle or update writers (on -backend single the
+	// store mutex still serializes the scrape with traffic, like every
+	// other request there).
+	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := st.Stats()
+		var b strings.Builder
+		metric := func(name, typ, help string, v int64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
+		}
+		metric("topkd_points_live", "gauge", "Number of live points.", int64(st.Len()))
+		metric("topkd_io_reads_total", "counter", "Block reads charged by the simulated EM disks (retired disks included).", s.Reads)
+		metric("topkd_io_writes_total", "counter", "Block writes charged by the simulated EM disks (retired disks included).", s.Writes)
+		metric("topkd_blocks_live", "gauge", "Disk blocks currently occupied fleet-wide.", s.BlocksLive)
+		metric("topkd_blocks_peak", "gauge", "High-water mark of the fleet-wide live-block total.", s.BlocksPeak)
+		if sh, ok := st.(interface{ NumShards() int }); ok {
+			metric("topkd_shards", "gauge", "Current shard count.", int64(sh.NumShards()))
+		}
+		if lc, ok := st.(interface {
+			Splits() int64
+			Merges() int64
+		}); ok {
+			metric("topkd_shard_splits_total", "counter", "Automatic shard splits since startup.", lc.Splits())
+			metric("topkd_shard_merges_total", "counter", "Automatic shard merges since startup.", lc.Merges())
+		}
+		if ep, ok := st.(interface{ Epoch() int64 }); ok {
+			// A gauge, not a counter: it tracks the snapshot version,
+			// which also advances on stats resets, not only on
+			// split/merge/rebalance lifecycle events.
+			metric("topkd_topology_epoch", "gauge", "Topology snapshot version; increments on every snapshot publish (splits, merges, rebalances, stats resets).", ep.Epoch())
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
 	})
 
 	handle("GET", "/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -386,6 +458,26 @@ func clampK(st topk.Store, k int) int {
 		return n
 	}
 	return k
+}
+
+// clampPage sizes the fetch for a paginated /v1/topk: the offset
+// points plus the page of k, capped at the live size. A page that is
+// empty by construction — k ≤ 0, or the offset at/past the live size —
+// fetches nothing at all, so a cheap request can never force a full
+// materialization it then discards. The comparison form avoids
+// overflow when a client sends offset and k both near MaxInt.
+func clampPage(st topk.Store, off, k int) int {
+	n := st.Len()
+	if k <= 0 || off >= n {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	if off > n-k {
+		return n
+	}
+	return off + k
 }
 
 // withRecover turns handler panics into JSON 500s. Contract

@@ -524,6 +524,174 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestTopKPagination: ?offset pages through a large answer — each
+// page is the corresponding slice of the full descending-score
+// answer, the tail page is truncated, an offset past the end is
+// empty, and a malformed or negative offset is a structured 400.
+func TestTopKPagination(t *testing.T) {
+	srv := testServer(t)
+	for i := 0; i < 20; i++ {
+		body := fmt.Sprintf(`{"x":%d,"score":%d.5}`, i*10, i)
+		resp, err := http.Post(srv.URL+"/v1/insert", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	type tk struct {
+		Results []struct {
+			X     float64 `json:"x"`
+			Score float64 `json:"score"`
+		} `json:"results"`
+		Offset int `json:"offset"`
+	}
+	get := func(query string) tk {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/topk?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out tk
+		decode(t, resp, &out)
+		return out
+	}
+	full := get("x1=0&x2=200&k=20")
+	if len(full.Results) != 20 || full.Offset != 0 {
+		t.Fatalf("full answer: %+v", full)
+	}
+	// Page 2 of size 5 is exactly full[5:10].
+	page := get("x1=0&x2=200&k=5&offset=5")
+	if len(page.Results) != 5 || page.Offset != 5 {
+		t.Fatalf("page: %+v", page)
+	}
+	for i, r := range page.Results {
+		if r != full.Results[5+i] {
+			t.Fatalf("page[%d] = %+v, want %+v", i, r, full.Results[5+i])
+		}
+	}
+	// Tail page truncates; offset past the end is empty, not an error.
+	if tail := get("x1=0&x2=200&k=10&offset=15"); len(tail.Results) != 5 {
+		t.Fatalf("tail page: %+v", tail)
+	}
+	if past := get("x1=0&x2=200&k=5&offset=100"); len(past.Results) != 0 {
+		t.Fatalf("past-the-end page: %+v", past)
+	}
+	// Huge offset+k must not size an allocation (both clamp to n).
+	if huge := get("x1=0&x2=200&k=2000000000&offset=2000000000"); len(huge.Results) != 0 {
+		t.Fatalf("huge page: %+v", huge)
+	}
+	// Pages empty by construction (k=0, or offset at/past the live
+	// size) are served without fetching anything — clampPage returns 0.
+	if z := get("x1=0&x2=200&k=0&offset=1000000"); len(z.Results) != 0 {
+		t.Fatalf("k=0 page: %+v", z)
+	}
+	if st := newTestStore(t, "sharded"); clampPage(st, 5, 0) != 0 || clampPage(st, 0, -3) != 0 || clampPage(st, 0, 5) != 0 {
+		t.Fatal("clampPage must be 0 for empty-by-construction pages")
+	}
+	for _, q := range []string{"x1=0&x2=200&k=5&offset=-1", "x1=0&x2=200&k=5&offset=x"} {
+		resp, err := http.Get(srv.URL + "/v1/topk?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eb := decodeErr(t, resp, http.StatusBadRequest); eb.Error.Code != "bad_request" {
+			t.Fatalf("offset %q: %+v", q, eb)
+		}
+	}
+}
+
+// TestMetricsEndpoint: /v1/metrics serves Prometheus text format —
+// fleet gauges and counters on both backends, shard lifecycle and
+// topology epoch only where a router exists.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/v1/insert", "application/json", strings.NewReader(`{"x":1,"score":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	fetch := func(url string) string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("content type %q", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	body := fetch(srv.URL + "/v1/metrics")
+	for _, want := range []string{
+		"topkd_points_live 1",
+		"# TYPE topkd_io_reads_total counter",
+		"topkd_io_writes_total ",
+		"topkd_blocks_live ",
+		"topkd_blocks_peak ",
+		"topkd_shards 1",
+		"topkd_shard_splits_total 0",
+		"topkd_shard_merges_total 0",
+		"# TYPE topkd_topology_epoch gauge",
+		"topkd_topology_epoch ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The unversioned alias serves the same handler.
+	if alias := fetch(srv.URL + "/metrics"); !strings.Contains(alias, "topkd_points_live") {
+		t.Fatalf("alias metrics: %s", alias)
+	}
+
+	// The single backend has no shard topology: fleet metrics only.
+	single := httptest.NewServer(newServer(newTestStore(t, "single")))
+	defer single.Close()
+	sbody := fetch(single.URL + "/v1/metrics")
+	if !strings.Contains(sbody, "topkd_points_live") {
+		t.Fatalf("single-backend metrics: %s", sbody)
+	}
+	for _, absent := range []string{"topkd_shards", "topkd_shard_splits_total", "topkd_topology_epoch"} {
+		if strings.Contains(sbody, absent) {
+			t.Fatalf("single backend reported %q:\n%s", absent, sbody)
+		}
+	}
+}
+
+// TestMaintenanceFlagWiring: a sharded store built the way main does
+// with -maintenance set runs the background loop (observable via the
+// optional Close interface), and Close is what the shutdown path
+// calls after draining.
+func TestMaintenanceFlagWiring(t *testing.T) {
+	st, err := newStore("sharded", topk.ShardedConfig{
+		Config:              topk.Config{ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048},
+		Shards:              4,
+		MaintenanceInterval: time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := st.(interface{ Close() error })
+	if !ok {
+		t.Fatal("sharded store does not expose Close")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The single backend has no loop; the shutdown path must cope.
+	if _, ok := newTestStore(t, "single").(interface{ Close() error }); ok {
+		t.Fatal("single backend unexpectedly exposes Close")
+	}
+}
+
 // TestStatsLifecycleCounters: the sharded backend reports shard
 // split/merge counters under /v1/stats; the single backend, which has
 // no lifecycle, omits them.

@@ -1,0 +1,245 @@
+package shard
+
+// This file is the EXECUTION layer of the router: the parallel fan-out
+// and k-way heap-merge machinery that answers reads over one pinned
+// topology snapshot. Nothing here touches the topology lock — a read
+// pins the snapshot with one atomic load and then deals only in
+// per-shard mutexes (each shard is a sequential EM machine whose
+// buffer-pool LRU state even queries mutate; DESIGN.md Substitution 1).
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/point"
+)
+
+// panicBox carries a recovered panic value across goroutines with a
+// single concrete type, as atomic.Value requires.
+type panicBox struct{ v any }
+
+// runParallel runs each fn in its own goroutine and waits for all.
+// A panic inside a worker (an internal invariant violation — contract
+// violations on caller input are rejected with errors before reaching
+// here) is captured and re-raised on the caller's goroutine after
+// every worker finishes — an unrecovered goroutine panic would kill
+// the whole process, and shard locks are released by the workers' own
+// defers.
+func runParallel(fns []func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	var pv atomic.Value
+	for _, f := range fns {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					pv.CompareAndSwap(nil, &panicBox{v})
+				}
+			}()
+			f()
+		}(f)
+	}
+	wg.Wait()
+	if b := pv.Load(); b != nil {
+		panic(b.(*panicBox).v)
+	}
+}
+
+// listSource adapts a descending-score point list to heap.Source: a
+// sorted list is a unary max-heap chain (entry i's only child is
+// entry i+1), so heap.Forest + heap.SelectTop perform a k-way merge
+// that pops the global maximum at every step. Refs are list indices;
+// no I/O is charged (the lists are query results already in memory).
+type listSource []point.P
+
+func (l listSource) Roots() []heap.Entry {
+	if len(l) == 0 {
+		return nil
+	}
+	return []heap.Entry{{Ref: 0, Key: l[0].Score}}
+}
+
+func (l listSource) Children(ref int64) []heap.Entry {
+	next := ref + 1
+	if next >= int64(len(l)) {
+		return nil
+	}
+	return []heap.Entry{{Ref: next, Key: l[next].Score}}
+}
+
+// mergeTopK k-way merges per-shard descending-score lists into the
+// global top k, preserving exact order (scores are distinct). k is
+// clamped to the merged length first, so an absurd client-supplied k
+// cannot drive the output allocation.
+func mergeTopK(lists [][]point.P, k int) []point.P {
+	nonEmpty := lists[:0]
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			nonEmpty = append(nonEmpty, l)
+			total += len(l)
+		}
+	}
+	if k > total {
+		k = total
+	}
+	switch len(nonEmpty) {
+	case 0:
+		return nil
+	case 1:
+		if k < len(nonEmpty[0]) {
+			return nonEmpty[0][:k]
+		}
+		return nonEmpty[0]
+	}
+	f := &heap.Forest{Sources: make([]heap.Source, len(nonEmpty))}
+	for i, l := range nonEmpty {
+		f.Sources[i] = listSource(l)
+	}
+	out := make([]point.P, 0, k)
+	for _, e := range heap.SelectTop(f, k) {
+		src, ref := heap.SplitRef(e.Ref)
+		out = append(out, nonEmpty[src][ref])
+	}
+	return out
+}
+
+// fanOut runs per once for every shard of the pinned snapshot
+// overlapping [x1, x2], taking each shard's mutex around its call.
+// setup receives the overlap count first so callers can size result
+// slices; slot indexes them 0..count−1 in shard order. With a single
+// overlapped shard everything runs on the caller's goroutine;
+// otherwise shards proceed in parallel. No query clamping is needed
+// anywhere: a shard only stores points inside its range, so the full
+// interval selects exactly its part.
+//
+// No topology lock is held at any point — the snapshot is immutable,
+// and a lifecycle pass that retires one of its shards mid-fan-out
+// cannot invalidate it (the retired machine still holds exactly the
+// points it held at pin time).
+func (r *Router) fanOut(x1, x2 float64, setup func(count int), per func(slot int, ix *core.Index)) {
+	t := r.snapshot()
+	lo, hi := t.locate(x1), t.locate(x2)
+	setup(hi - lo + 1)
+	if lo == hi {
+		s := t.shards[lo]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		per(0, s.ix)
+		return
+	}
+	fns := make([]func(), 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		s, slot := t.shards[i], i-lo
+		fns = append(fns, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			per(slot, s.ix)
+		})
+	}
+	runParallel(fns)
+}
+
+// TopK returns the k highest-scoring points with position in [x1, x2]
+// in descending score order, fanning out to every shard the interval
+// overlaps in parallel and heap-merging the per-shard answers. The
+// read is linearized at the moment it pins the topology snapshot.
+func (r *Router) TopK(x1, x2 float64, k int) []point.P {
+	// NaN bounds match nothing; they must be rejected here because they
+	// also defeat the x1 > x2 guard and the locate binary search (every
+	// comparison with NaN is false), which would cross the fan-out's
+	// shard range.
+	if k <= 0 || x1 > x2 || math.IsNaN(x1) || math.IsNaN(x2) {
+		return nil
+	}
+	var lists [][]point.P
+	r.fanOut(x1, x2,
+		func(count int) { lists = make([][]point.P, count) },
+		func(slot int, ix *core.Index) { lists[slot] = ix.Query(x1, x2, k) })
+	return mergeTopK(lists, k)
+}
+
+// Count returns the number of stored points with position in [x1, x2],
+// summing overlapped shards in parallel.
+func (r *Router) Count(x1, x2 float64) int {
+	if x1 > x2 || math.IsNaN(x1) || math.IsNaN(x2) {
+		return 0
+	}
+	var counts []int
+	r.fanOut(x1, x2,
+		func(count int) { counts = make([]int, count) },
+		func(slot int, ix *core.Index) { counts[slot] = ix.Count(x1, x2) })
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Query is one read of a QueryBatch: the k highest-scoring points
+// with position in [X1, X2].
+type Query struct {
+	X1, X2 float64
+	K      int
+}
+
+// QueryBatch answers qs as one batch over a SINGLE pinned snapshot,
+// amortizing the snapshot pin and goroutine setup that a loop of TopK
+// calls would pay per query. Work is grouped by shard — each shard's
+// mutex is taken once and its queries run sequentially on it (the EM
+// machines are sequential), while distinct shards proceed in
+// parallel. Answers are positionally aligned with qs and
+// byte-identical to calling TopK once per query on the same topology;
+// invalid queries (k ≤ 0, inverted or NaN bounds) yield nil.
+func (r *Router) QueryBatch(qs []Query) [][]point.P {
+	if len(qs) == 0 {
+		return nil
+	}
+	out := make([][]point.P, len(qs))
+	t := r.snapshot()
+	type task struct{ qi, slot int }
+	tasks := make([][]task, len(t.shards))
+	lists := make([][][]point.P, len(qs))
+	for qi, q := range qs {
+		if q.K <= 0 || q.X1 > q.X2 || math.IsNaN(q.X1) || math.IsNaN(q.X2) {
+			continue
+		}
+		lo, hi := t.locate(q.X1), t.locate(q.X2)
+		lists[qi] = make([][]point.P, hi-lo+1)
+		for si := lo; si <= hi; si++ {
+			tasks[si] = append(tasks[si], task{qi, si - lo})
+		}
+	}
+	var fns []func()
+	for si, ts := range tasks {
+		if len(ts) == 0 {
+			continue
+		}
+		s, ts := t.shards[si], ts
+		fns = append(fns, func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for _, t := range ts {
+				q := qs[t.qi]
+				lists[t.qi][t.slot] = s.ix.Query(q.X1, q.X2, q.K)
+			}
+		})
+	}
+	if len(fns) > 0 {
+		runParallel(fns)
+	}
+	for qi, ls := range lists {
+		if ls != nil {
+			out[qi] = mergeTopK(ls, qs[qi].K)
+		}
+	}
+	return out
+}

@@ -1,0 +1,367 @@
+package shard
+
+// This file is the LIFECYCLE layer of the router: the split/merge/
+// rebalance policy, the passes that execute it under the topology
+// write lock, and the background maintenance loop that runs the same
+// passes on a timer so the fleet keeps adapting while traffic is idle.
+//
+// Policy evaluation happens in two places. The update paths observe
+// conditions opportunistically (an insert re-checks its shard for
+// overload, a delete for underload) and trigger a pass; the
+// maintenance loop runs the full pass unconditionally every tick.
+// The loop matters because the inline hooks only re-examine the shard
+// an update just touched: a tiny shard whose merge was vetoed while
+// its neighbor was heavy stays stranded after later deletes lighten
+// that neighbor — no delete ever re-examines the tiny shard — until
+// either the next delete lands on it or a maintenance tick sweeps the
+// whole fleet.
+//
+// Every pass re-checks its policy under the write lock before acting:
+// between the observation (made under a read lock or no lock at all)
+// and the write lock, another goroutine may already have acted.
+// Content scans (Live/Len/meters) take each shard's mutex even under
+// the topology write lock, because snapshot-pinned readers may be
+// querying the same shard concurrently.
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/point"
+)
+
+// splitSize reports whether a shard of size ln trips the split
+// policy's size thresholds (the shard-count cap is checked
+// separately): at least MinSplit points and more than SkewFactor times
+// the fair share n/MaxShards.
+func (r *Router) splitSize(ln int, total int64) bool {
+	if ln < r.opt.MinSplit {
+		return false
+	}
+	fair := float64(total) / float64(r.opt.MaxShards)
+	return float64(ln) > r.opt.SkewFactor*fair
+}
+
+// overloaded applies the split policy to a shard of size ln with the
+// given live total, against the shard count of topology t.
+func (r *Router) overloaded(t *topology, ln int, total int64) bool {
+	return len(t.shards) < r.opt.MaxShards && r.splitSize(ln, total)
+}
+
+// underloaded applies the merge policy to a shard of size ln with the
+// given live total: below the merge floor (static MinMerge, or the
+// adaptive floor when MinMerge is 0) a shard always qualifies; above
+// it, only when it holds less than 1/SkewFactor of the fair share —
+// the mirror image of the split trigger.
+func (r *Router) underloaded(t *topology, ln int, total int64) bool {
+	if r.opt.MinMerge < 0 || len(t.shards) <= 1 {
+		return false
+	}
+	if ln < int(r.mergeFloor.Load()) {
+		return true
+	}
+	fair := float64(total) / float64(r.opt.MaxShards)
+	return float64(ln) < fair/r.opt.SkewFactor
+}
+
+// mergeable reports whether the shard at index si (now holding ln
+// points) qualifies for a merge that some pass could actually
+// perform: underloaded AND coalescing with at least one adjacent
+// neighbor would survive the hysteresis veto. Checking the veto here,
+// on the observation path, keeps a wedged shard — one whose only
+// neighbors are too heavy to absorb it — from sending every
+// subsequent delete through an exclusive write lock for a guaranteed
+// no-op pass. Caller holds mu in read mode and no shard mutex (the
+// neighbors' mutexes are taken briefly to read their sizes).
+func (r *Router) mergeable(t *topology, si, ln int, total int64) bool {
+	if !r.underloaded(t, ln, total) {
+		return false
+	}
+	for _, ni := range [2]int{si - 1, si + 1} {
+		if ni < 0 || ni >= len(t.shards) {
+			continue
+		}
+		if !r.splitSize(ln+t.shards[ni].size(), total) {
+			return true
+		}
+	}
+	return false
+}
+
+// splitOverloaded re-checks the split policy under the write lock and
+// splits every qualifying shard at its median position, publishing a
+// new snapshot per split. Re-checking is required: between the
+// observation and this write lock, another goroutine may already have
+// split.
+func (r *Router) splitOverloaded() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		t := r.snapshot()
+		total := r.n.Load()
+		split := false
+		for i, s := range t.shards {
+			if !r.overloaded(t, s.size(), total) {
+				continue
+			}
+			pts := s.live()
+			point.SortByX(pts)
+			mid := len(pts) / 2
+			// Positions are distinct, so pts[mid-1].X < pts[mid].X and
+			// the median is a valid cut strictly inside (lo, hi).
+			cut := pts[mid].X
+			disk := r.opt.diskFor(len(t.shards) + 1)
+			left := newShard(r.opt, disk, s.lo, cut, pts[:mid])
+			right := newShard(r.opt, disk, cut, s.hi, pts[mid:])
+			shards := append(t.shards[:i:i], append([]*shard{left, right}, t.shards[i+1:]...)...)
+			r.publish(shards, addStats(t.retired, transfers(s.meter())))
+			r.splits.Add(1)
+			r.observeFleetPeak()
+			split = true
+			break
+		}
+		if !split {
+			return
+		}
+	}
+}
+
+// mergeUnderloaded re-checks the merge policy under the write lock and
+// coalesces qualifying shards with their neighbors until none
+// qualifies. Re-checking is required for the same reason as in
+// splitOverloaded: between the observation and this write lock,
+// another goroutine may already have merged (or refilled the shard).
+func (r *Router) mergeUnderloaded() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.mergeOnce() {
+	}
+}
+
+// mergeOnce coalesces the smallest underloaded shard with its smaller
+// adjacent neighbor and reports whether a merge happened. Candidates
+// are tried smallest-first; one is skipped when the combined shard
+// would itself trip the split policy's size test (the hysteresis that
+// prevents split/merge flapping — e.g. an emptied shard wedged between
+// two heavy ones stays put rather than fattening a neighbor the next
+// insert would cut apart). Caller holds mu in write mode.
+func (r *Router) mergeOnce() bool {
+	t := r.snapshot()
+	total := r.n.Load()
+	sizes := make([]int, len(t.shards))
+	for i, s := range t.shards {
+		sizes[i] = s.size()
+	}
+	var cand []int
+	for i, ln := range sizes {
+		if r.underloaded(t, ln, total) {
+			cand = append(cand, i)
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool { return sizes[cand[a]] < sizes[cand[b]] })
+	for _, i := range cand {
+		j := i - 1
+		if i == 0 || (i+1 < len(t.shards) && sizes[i+1] < sizes[i-1]) {
+			j = i + 1
+		}
+		if r.splitSize(sizes[i]+sizes[j], total) {
+			continue
+		}
+		if j < i {
+			i, j = j, i
+		}
+		r.coalesce(t, i, j)
+		return true
+	}
+	return false
+}
+
+// coalesce replaces adjacent shards lo and lo+1 of topology t with one
+// shard over their union range, rebuilt with core.Bulk on a fresh disk
+// sized for the shrunken fleet, and publishes the new snapshot. The
+// rebuild cost is amortized against the deletions that underloaded the
+// shard — the same argument as the paper's global rebuilding. Caller
+// holds mu in write mode; t is the current snapshot.
+func (r *Router) coalesce(t *topology, lo, hi int) {
+	a, b := t.shards[lo], t.shards[hi]
+	pts := append(a.live(), b.live()...)
+	point.SortByX(pts)
+	merged := newShard(r.opt, r.opt.diskFor(len(t.shards)-1), a.lo, b.hi, pts)
+	retired := addStats(t.retired, addStats(transfers(a.meter()), transfers(b.meter())))
+	shards := append(t.shards[:lo:lo], append([]*shard{merged}, t.shards[hi+1:]...)...)
+	r.publish(shards, retired)
+	r.merges.Add(1)
+	r.observeFleetPeak()
+}
+
+// Splits returns the number of shard splits since creation.
+func (r *Router) Splits() int64 { return r.splits.Load() }
+
+// Merges returns the number of shard merges since creation.
+func (r *Router) Merges() int64 { return r.merges.Load() }
+
+// Rebalance re-partitions the router into up to target equal quantile
+// shards (capped at MaxShards; target < 1 means MaxShards), preserving
+// contents exactly.
+func (r *Router) Rebalance(target int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if target < 1 || target > r.opt.MaxShards {
+		target = r.opt.MaxShards
+	}
+	t := r.snapshot()
+	var all []point.P
+	retired := t.retired
+	for _, s := range t.shards {
+		all = append(all, s.live()...)
+		retired = addStats(retired, transfers(s.meter()))
+	}
+	point.SortByX(all)
+	// Build first, publish after: if the rebuild panics (e.g. a
+	// contract violation that slipped into the data), the router keeps
+	// its old snapshot and meters instead of double-counting retired
+	// stats on a retry.
+	shards := partition(r.opt, all, target)
+	r.publish(shards, retired)
+	r.observeFleetPeak()
+}
+
+// MergeFloor returns the effective merge floor currently in force:
+// Options.MinMerge when positive, else the adaptive floor maintained
+// by the maintenance loop (starting at MinSplit/2).
+func (r *Router) MergeFloor() int { return int(r.mergeFloor.Load()) }
+
+// updateMergeFloor re-derives the adaptive merge floor from observed
+// per-shard space overhead; it runs only in auto mode (MinMerge == 0)
+// and only raises the floor above the static default of MinSplit/2,
+// capped at MinSplit.
+//
+// The estimate: blocks-per-point of the fleet's largest shard is the
+// closest observation of the structure's asymptotic O(1/B) space
+// constant, so any excess blocks-per-point in a smaller shard is
+// fixed skeleton cost — blocks a query visiting the shard pays for
+// regardless of how few points it can contribute. The floor is the
+// point count at which a shard's payload, at the reference rate,
+// reaches adaptiveMargin times its observed fixed cost: below it the
+// shard is skeleton-dominated, the degenerate state merging exists to
+// repair, so when observed overhead is high the floor rises and the
+// maintenance pass coalesces more aggressively.
+//
+// Raising the floor above MinSplit/2 cannot cause split/merge
+// flapping: the structural hysteresis veto (a merge is skipped when
+// the combined shard would pass the split size test) is checked
+// independently of the floor, so the halves of a fresh split — whose
+// combined size just tripped that very test — are never glued back
+// together no matter how high the floor sits.
+func (r *Router) updateMergeFloor() {
+	if !r.autoFloor {
+		return
+	}
+	t := r.snapshot()
+	if len(t.shards) < 2 {
+		return
+	}
+	sizes := make([]int, len(t.shards))
+	blocks := make([]int64, len(t.shards))
+	ref := 0
+	for i, s := range t.shards {
+		s.mu.Lock()
+		sizes[i] = s.ix.Len()
+		blocks[i] = s.d.Stats().BlocksLive
+		s.mu.Unlock()
+		if sizes[i] > sizes[ref] {
+			ref = i
+		}
+	}
+	if sizes[ref] == 0 || blocks[ref] == 0 {
+		return
+	}
+	bpp := float64(blocks[ref]) / float64(sizes[ref])
+	var fixed float64
+	others := 0
+	for i := range sizes {
+		if i == ref {
+			continue
+		}
+		if f := float64(blocks[i]) - bpp*float64(sizes[i]); f > 0 {
+			fixed += f
+		}
+		others++
+	}
+	floor := r.defaultFloor()
+	if est := int(adaptiveMargin * fixed / float64(others) / bpp); est > floor {
+		floor = est
+	}
+	if floor > r.opt.MinSplit {
+		floor = r.opt.MinSplit
+	}
+	r.mergeFloor.Store(int64(floor))
+}
+
+// adaptiveMargin is how many times a shard's payload must outweigh
+// its fixed skeleton cost before the adaptive floor considers it
+// worth its per-shard visit overhead (the O(log_B n_i) descent and
+// fan-out bookkeeping a query pays per shard regardless of yield). A
+// shard at the break-even point (payload = skeleton) still spends
+// most of each visit on fixed cost; demanding a 4× margin keeps the
+// floor conservative without needing per-query instrumentation.
+const adaptiveMargin = 4
+
+// defaultFloor is the static merge floor of auto mode: MinSplit/2
+// (min 1), the value that keeps split halves at or above the floor.
+func (r *Router) defaultFloor() int {
+	f := r.opt.MinSplit / 2
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// Maintain runs one synchronous maintenance pass: refresh the
+// adaptive merge floor, coalesce underloaded shards, split overloaded
+// ones. It is exactly what the background loop runs every
+// MaintenanceInterval; exposing it lets operators and tests drive the
+// lifecycle deterministically.
+func (r *Router) Maintain() {
+	r.updateMergeFloor()
+	r.mergeUnderloaded()
+	r.splitOverloaded()
+}
+
+// startMaintenance launches the background maintenance goroutine when
+// Options.MaintenanceInterval is positive. Called once from the
+// constructors before the router is shared.
+func (r *Router) startMaintenance() {
+	if r.opt.MaintenanceInterval <= 0 {
+		return
+	}
+	r.maintStop = make(chan struct{})
+	r.maintDone = make(chan struct{})
+	go func() {
+		defer close(r.maintDone)
+		tick := time.NewTicker(r.opt.MaintenanceInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-r.maintStop:
+				return
+			case <-tick.C:
+				r.Maintain()
+			}
+		}
+	}()
+}
+
+// Close stops the background maintenance goroutine and waits for it to
+// exit. It is idempotent and safe to call on a router that never had a
+// maintenance loop; the router keeps serving after Close — only the
+// timer-driven passes stop.
+func (r *Router) Close() error {
+	r.closeOnce.Do(func() {
+		if r.maintStop != nil {
+			close(r.maintStop)
+			<-r.maintDone
+		}
+	})
+	return nil
+}

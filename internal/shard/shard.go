@@ -13,15 +13,33 @@
 // answers in O(log_B n_i + k/B) I/Os), while operations on different
 // shards proceed in parallel.
 //
-// Topology (the cut positions) is guarded by a RWMutex taken in read
-// mode by every operation and in write mode only when re-partitioning,
-// so routing never blocks routing. Queries that straddle cut positions
-// fan out to the affected shards in parallel goroutines, each shard
-// answering its own top-k; the per-shard answers — already sorted by
-// descending score — are k-way merged with internal/heap's best-first
-// selection, which preserves the exact descending-score semantics of
-// the unsharded structure (scores are distinct by the paper's standing
-// assumption, so the merged order is unique).
+// The router is organized in three layers, one file each:
+//
+//   - topology (topology.go): an immutable, epoch-versioned snapshot
+//     of the fleet — shard slice, cut positions, retired-meter
+//     history — swapped atomically on every split/merge/rebalance.
+//     Readers pin a snapshot with one atomic load and never touch the
+//     topology lock; observability (Boundaries, NumShards, Stats,
+//     String) is served the same way, so it never contends with
+//     writers.
+//   - execution (execute.go): the parallel fan-out and k-way
+//     heap-merge machinery answering TopK/Count/QueryBatch over one
+//     pinned snapshot. Per-shard answers — already sorted by
+//     descending score — are merged with internal/heap's best-first
+//     selection, which preserves the exact descending-score semantics
+//     of the unsharded structure (scores are distinct by the paper's
+//     standing assumption, so the merged order is unique).
+//   - lifecycle (lifecycle.go): the split/merge/rebalance policy, the
+//     passes that execute it under the topology write lock, and the
+//     background maintenance loop (Options.MaintenanceInterval /
+//     Close) that sweeps the fleet on a timer so it keeps adapting —
+//     coalescing after heavy deletes, re-deriving the adaptive merge
+//     floor — even when no traffic arrives to trigger the inline
+//     hooks.
+//
+// This file holds what the layers share: Options, the shard and
+// Router types, the constructors, and the update paths (Insert,
+// Delete, ApplyBatch) with their fleet-wide duplicate-score registry.
 //
 // Shards split when insertion skew concentrates too large a share of
 // the live set in one of them (see Options.SkewFactor): the overloaded
@@ -29,25 +47,21 @@
 // position, and rebuilt into two halves with core.Bulk — the cost is
 // amortized against the insertions that caused the overload, the same
 // argument as the paper's global rebuilding. Symmetrically, shards
-// merge when deletions leave one underloaded (see Options.MinMerge):
-// the shard is coalesced with its smaller adjacent neighbor, the cost
-// amortized against the deletions that emptied it, so a delete-heavy
-// workload cannot degenerate the fleet into many near-empty shards
-// each paying fixed per-shard overhead. Rebalance re-partitions the
-// whole router into equal quantile shards on demand.
+// merge when deletions leave one underloaded (see Options.MinMerge),
+// so a delete-heavy workload cannot degenerate the fleet into many
+// near-empty shards each paying fixed per-shard overhead. Rebalance
+// re-partitions the whole router into equal quantile shards on demand.
 package shard
 
 import (
 	"fmt"
 	"math"
-	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/em"
-	"repro/internal/heap"
 	"repro/internal/point"
 )
 
@@ -78,21 +92,36 @@ type Options struct {
 	MinSplit int
 	// MinMerge is the shard size below which a shard is
 	// unconditionally considered underloaded and eligible for merging
-	// with a neighbor (default MinSplit/2). Above the floor, a shard is
-	// underloaded only when it holds less than 1/SkewFactor of the
-	// fair share n/MaxShards — the mirror image of the split trigger.
-	// The absolute floor matters after heavy deletes: the fair share
+	// with a neighbor. Above the floor, a shard is underloaded only
+	// when it holds less than 1/SkewFactor of the fair share
+	// n/MaxShards — the mirror image of the split trigger. The
+	// absolute floor matters after heavy deletes: the fair share
 	// itself shrinks with n, so without it a fleet of near-empty
 	// shards would never coalesce. Negative disables merging entirely
-	// (splits still happen); 0 selects the default.
+	// (splits still happen).
+	//
+	// 0 selects AUTO mode: the floor starts at the static default
+	// MinSplit/2 and, when the maintenance loop runs, is re-derived
+	// each tick from observed per-shard space overhead (never below
+	// the default, capped at MinSplit) — see Router.MergeFloor and
+	// updateMergeFloor in lifecycle.go.
 	//
 	// Hysteresis against split/merge flapping is structural: a merge
 	// is skipped when the combined shard would itself satisfy the
 	// split policy's size test, so no merge can create a shard that an
 	// insert would immediately cut back apart; and the default floor
 	// of MinSplit/2 keeps the halves produced by a split (each at
-	// least MinSplit/2 points) at or above the merge floor.
+	// least MinSplit/2 points) at or above the static merge floor.
 	MinMerge int
+	// MaintenanceInterval, when positive, starts a background
+	// goroutine at construction that runs Maintain every interval:
+	// refreshing the adaptive merge floor, coalescing underloaded
+	// shards, splitting overloaded ones. It is how a fleet left idle
+	// after heavy deletes coalesces without waiting for the next
+	// update to trip an inline hook. Stop it with Close. 0 (the
+	// default) disables the loop; Maintain can still be called
+	// manually.
+	MaintenanceInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -104,12 +133,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MinSplit <= 0 {
 		o.MinSplit = 512
-	}
-	if o.MinMerge == 0 {
-		o.MinMerge = o.MinSplit / 2
-		if o.MinMerge < 1 {
-			o.MinMerge = 1
-		}
 	}
 	if o.Disk.B <= 0 {
 		o.Disk.B = em.DefaultB
@@ -136,8 +159,7 @@ func (o Options) diskFor(count int) em.Config {
 // shard is one partition: a complete sequential EM machine over the
 // position range [lo, hi) plus the mutex that serializes access to it.
 // lo/hi are immutable after construction (re-partitioning builds new
-// shard values), so they may be read without the mutex by anyone
-// holding the router's topology lock.
+// shard values), so they may be read without the mutex.
 type shard struct {
 	mu sync.Mutex
 	lo float64 // inclusive; −Inf for the first shard
@@ -160,32 +182,80 @@ func newShard(opt Options, disk em.Config, lo, hi float64, pts []point.P) *shard
 	return s
 }
 
+// size, live and meter read a shard's machine under its mutex. The
+// lifecycle layer uses them for content scans: even under the topology
+// write lock, snapshot-pinned readers may be querying the shard (and
+// mutating its LRU state and I/O meter) concurrently.
+func (s *shard) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Len()
+}
+
+func (s *shard) live() []point.P {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Live()
+}
+
+func (s *shard) meter() em.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Stats()
+}
+
 // Router fans operations out over position-range shards. All methods
 // are safe for concurrent use.
 type Router struct {
 	opt Options
 
-	// mu guards the topology (the shards slice and the cut positions
-	// embedded in it). Read-locked by every operation; write-locked only
-	// by split/Rebalance.
-	mu     sync.RWMutex
-	shards []*shard
+	// mu serializes UPDATES against TOPOLOGY CHANGES. Insert, Delete
+	// and ApplyBatch take it in read mode — an update must land on the
+	// CURRENT topology, because an update applied to a shard that a
+	// concurrent re-partition just retired would be silently lost when
+	// the rebuilt replacement takes over. Lifecycle passes (split,
+	// merge, rebalance, reset) take it in write mode. Reads do not
+	// touch it at all: they pin the topology snapshot below.
+	mu sync.RWMutex
+
+	// topo is the current topology snapshot (see topology.go),
+	// published under mu in write mode and pinned lock-free by every
+	// reader.
+	topo atomic.Pointer[topology]
 
 	// n is the live point count, maintained atomically so Len never
 	// takes a shard lock.
 	n atomic.Int64
 
-	// retired accumulates the transfer counters of disks discarded by
-	// splits, merges and rebalances, so aggregate Stats never lose
-	// history. Space gauges are stripped at retire time (a discarded
-	// disk holds no live blocks once its shard is rebuilt). Guarded by
-	// mu (write mode).
-	retired em.Stats
-
 	// splits and merges count topology changes since creation —
 	// operator-facing lifecycle counters surfaced by cmd/topkd.
 	splits atomic.Int64
 	merges atomic.Int64
+
+	// statsMu serializes Stats against ResetStats, the one operation
+	// that moves meters BACKWARD: readers share it, only ResetStats
+	// takes it exclusively, so a report can never mix pre-reset retired
+	// history with partially-reset meters. No update or lifecycle path
+	// touches it — their counters only grow, and the snapshot keeps a
+	// pinned report self-consistent — so observability still never
+	// contends with serving traffic.
+	statsMu sync.RWMutex
+
+	// repReads/repWrites/repAllocs/repFrees are monotone floors on the
+	// REPORTED transfer counters. A reader still pinned to an old
+	// snapshot can charge I/Os to a disk after a re-partition captured
+	// that disk's meter into the retired history; those trailing I/Os
+	// appear in reports made from the old snapshot and vanish from
+	// later ones, which would make the Prometheus counters exported by
+	// topkd tick backward. Stats clamps each report to the highest
+	// value already reported (counters only — BlocksLive/Peak are
+	// gauges), trading an undercount bounded by the trailing I/Os for
+	// strict monotonicity. Folded under statsMu read locks; ResetStats
+	// zeroes the floors under the write lock.
+	repReads  atomic.Int64
+	repWrites atomic.Int64
+	repAllocs atomic.Int64
+	repFrees  atomic.Int64
 
 	// peak is the high-water mark of the FLEET-wide live-block total,
 	// sampled whenever the fleet total is observed: at Stats calls and
@@ -193,6 +263,13 @@ type Router struct {
 	// (an upper bound no instant ever reached), this is a total some
 	// instant actually held.
 	peak atomic.Int64
+
+	// mergeFloor is the effective MinMerge floor consulted by the
+	// merge policy: Options.MinMerge when positive, else the adaptive
+	// floor the maintenance loop maintains (autoFloor set). Atomic so
+	// the loop can refresh it while update paths evaluate policy.
+	mergeFloor atomic.Int64
+	autoFloor  bool
 
 	// scores is the router-level duplicate-score guard: the set of all
 	// live scores across the fleet, with its own mutex so parallel
@@ -202,6 +279,26 @@ type Router struct {
 	// detonate when a later split or rebalance co-locates the pair.
 	scoreMu sync.Mutex
 	scores  map[float64]struct{}
+
+	// Background maintenance loop state (lifecycle.go).
+	maintStop chan struct{}
+	maintDone chan struct{}
+	closeOnce sync.Once
+}
+
+// newRouter allocates a Router with defaulted options, an initialized
+// score set and the effective merge floor resolved — everything except
+// the initial topology, which each constructor publishes itself.
+func newRouter(opt Options) *Router {
+	opt = opt.withDefaults()
+	r := &Router{opt: opt, scores: map[float64]struct{}{}}
+	floor := opt.MinMerge
+	if floor == 0 {
+		r.autoFloor = true
+		floor = r.defaultFloor()
+	}
+	r.mergeFloor.Store(int64(floor))
+	return r
 }
 
 // reserveScore claims score for an in-flight insert, reporting false
@@ -224,15 +321,14 @@ func (r *Router) releaseScore(score float64) {
 }
 
 // New returns an empty Router: one shard covering the whole line,
-// which splits as skew develops.
+// which splits as skew develops. If Options.MaintenanceInterval is
+// positive the background maintenance loop starts immediately; stop
+// it with Close.
 func New(opt Options) *Router {
-	opt = opt.withDefaults()
-	r := &Router{
-		opt:    opt,
-		shards: []*shard{newShard(opt, opt.diskFor(1), math.Inf(-1), math.Inf(1), nil)},
-		scores: map[float64]struct{}{},
-	}
+	r := newRouter(opt)
+	r.publish([]*shard{newShard(r.opt, r.opt.diskFor(1), math.Inf(-1), math.Inf(1), nil)}, em.Stats{})
 	r.observeFleetPeak()
+	r.startMaintenance()
 	return r
 }
 
@@ -242,106 +338,24 @@ func New(opt Options) *Router {
 // the input contract (finite coordinates, distinct positions and
 // scores) — the public topk layer validates before calling.
 func Bulk(opt Options, pts []point.P, shards int) *Router {
-	opt = opt.withDefaults()
-	r := &Router{opt: opt, scores: make(map[float64]struct{}, len(pts))}
-	if shards < 1 || shards > opt.MaxShards {
-		shards = opt.MaxShards
+	r := newRouter(opt)
+	if shards < 1 || shards > r.opt.MaxShards {
+		shards = r.opt.MaxShards
 	}
 	sorted := append([]point.P(nil), pts...)
 	point.SortByX(sorted)
-	r.shards = partition(opt, sorted, shards)
+	r.publish(partition(r.opt, sorted, shards), em.Stats{})
 	for _, p := range pts {
 		r.scores[p.Score] = struct{}{}
 	}
 	r.n.Store(int64(len(pts)))
 	r.observeFleetPeak()
+	r.startMaintenance()
 	return r
-}
-
-// partition cuts sorted (by X) points into up to want contiguous
-// shards of near-equal size. Cut positions must fall strictly between
-// distinct X values, so fewer shards may result when points repeat a
-// prefix... positions are distinct by assumption, but defensively any
-// zero-width range is merged left.
-func partition(opt Options, sorted []point.P, want int) []*shard {
-	if want < 1 {
-		want = 1
-	}
-	if want > len(sorted) {
-		want = len(sorted)
-	}
-	if want <= 1 {
-		return []*shard{newShard(opt, opt.diskFor(1), math.Inf(-1), math.Inf(1), sorted)}
-	}
-	disk := opt.diskFor(want)
-	var out []*shard
-	lo := math.Inf(-1)
-	start := 0
-	for i := 0; i < want; i++ {
-		end := (i + 1) * len(sorted) / want
-		if i == want-1 {
-			end = len(sorted)
-		}
-		if end <= start {
-			continue
-		}
-		hi := math.Inf(1)
-		if end < len(sorted) {
-			hi = sorted[end].X
-			// Distinct positions guarantee sorted[end-1].X < hi; if the
-			// chunk boundary repeats a position, extend the chunk.
-			for end < len(sorted) && sorted[end-1].X >= hi {
-				end++
-				if end < len(sorted) {
-					hi = sorted[end].X
-				} else {
-					hi = math.Inf(1)
-				}
-			}
-		}
-		out = append(out, newShard(opt, disk, lo, hi, sorted[start:end]))
-		lo = hi
-		start = end
-		if end == len(sorted) {
-			break
-		}
-	}
-	return out
-}
-
-// locate returns the index of the shard covering x. Caller holds mu.
-func (r *Router) locate(x float64) int {
-	// First shard with hi > x; lows are contiguous so this is the cover.
-	// x = +Inf matches no half-open range and is clamped to the last
-	// shard (the same defensive treatment a single Index gives it).
-	i := sort.Search(len(r.shards), func(i int) bool { return x < r.shards[i].hi })
-	if i == len(r.shards) {
-		i--
-	}
-	return i
 }
 
 // Len returns the number of live points.
 func (r *Router) Len() int { return int(r.n.Load()) }
-
-// NumShards returns the current shard count.
-func (r *Router) NumShards() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.shards)
-}
-
-// Boundaries returns the current cut positions (len NumShards−1),
-// ascending. Tests use it to craft boundary-straddling queries.
-func (r *Router) Boundaries() []float64 {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	cuts := make([]float64, 0, len(r.shards)-1)
-	for _, s := range r.shards[1:] {
-		cuts = append(cuts, s.lo)
-	}
-	return cuts
-}
 
 // Insert adds p. Safe for concurrent use. Contract violations return
 // sentinel errors before anything is mutated, in the same fixed order
@@ -371,7 +385,8 @@ func (r *Router) insertLocked(p point.P) (bool, error) {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	s := r.shards[r.locate(p.X)]
+	t := r.snapshot()
+	s := t.shards[t.locate(p.X)]
 	ln, err := func() (int, error) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -380,7 +395,7 @@ func (r *Router) insertLocked(p point.P) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return r.overloaded(ln, r.n.Add(1)), nil
+	return r.overloaded(t, ln, r.n.Add(1)), nil
 }
 
 // insertShard applies the duplicate checks and the insert to s. The
@@ -420,8 +435,9 @@ func (r *Router) Delete(p point.P) bool {
 func (r *Router) deleteLocked(p point.P) (found, under bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	si := r.locate(p.X)
-	s := r.shards[si]
+	t := r.snapshot()
+	si := t.locate(p.X)
+	s := t.shards[si]
 	ln, ok := func() (int, bool) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -434,406 +450,7 @@ func (r *Router) deleteLocked(p point.P) (found, under bool) {
 		return false, false
 	}
 	r.releaseScore(p.Score)
-	return true, r.mergeable(si, ln, r.n.Add(-1))
-}
-
-// mergeable reports whether the shard at index si (now holding ln
-// points) qualifies for a merge that some pass could actually
-// perform: underloaded AND coalescing with at least one adjacent
-// neighbor would survive the hysteresis veto. Checking the veto here,
-// on the observation path, keeps a wedged shard — one whose only
-// neighbors are too heavy to absorb it — from sending every
-// subsequent delete through an exclusive write lock for a guaranteed
-// no-op pass. Caller holds mu in read mode and no shard mutex (the
-// neighbors' mutexes are taken briefly to read their sizes).
-func (r *Router) mergeable(si, ln int, total int64) bool {
-	if !r.underloaded(ln, total) {
-		return false
-	}
-	for _, ni := range [2]int{si - 1, si + 1} {
-		if ni < 0 || ni >= len(r.shards) {
-			continue
-		}
-		nb := r.shards[ni]
-		nb.mu.Lock()
-		nl := nb.ix.Len()
-		nb.mu.Unlock()
-		if !r.splitSize(ln+nl, total) {
-			return true
-		}
-	}
-	return false
-}
-
-// splitSize reports whether a shard of size ln trips the split
-// policy's size thresholds (the shard-count cap is checked
-// separately): at least MinSplit points and more than SkewFactor times
-// the fair share n/MaxShards. Caller holds mu (either mode).
-func (r *Router) splitSize(ln int, total int64) bool {
-	if ln < r.opt.MinSplit {
-		return false
-	}
-	fair := float64(total) / float64(r.opt.MaxShards)
-	return float64(ln) > r.opt.SkewFactor*fair
-}
-
-// overloaded applies the split policy to a shard of size ln with the
-// given live total. Caller holds mu (either mode).
-func (r *Router) overloaded(ln int, total int64) bool {
-	return len(r.shards) < r.opt.MaxShards && r.splitSize(ln, total)
-}
-
-// underloaded applies the merge policy to a shard of size ln with the
-// given live total: below the MinMerge floor a shard always
-// qualifies; above it, only when it holds less than 1/SkewFactor of
-// the fair share — the mirror image of the split trigger. Caller
-// holds mu (either mode).
-func (r *Router) underloaded(ln int, total int64) bool {
-	if r.opt.MinMerge < 0 || len(r.shards) <= 1 {
-		return false
-	}
-	if ln < r.opt.MinMerge {
-		return true
-	}
-	fair := float64(total) / float64(r.opt.MaxShards)
-	return float64(ln) < fair/r.opt.SkewFactor
-}
-
-// splitOverloaded re-checks the split policy under the write lock and
-// splits every qualifying shard at its median position. Re-checking is
-// required: between the RUnlock that observed the overload and this
-// write lock, another goroutine may already have split.
-func (r *Router) splitOverloaded() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for {
-		total := r.n.Load()
-		split := false
-		for i, s := range r.shards {
-			if !r.overloaded(s.ix.Len(), total) {
-				continue
-			}
-			pts := s.ix.Live()
-			point.SortByX(pts)
-			mid := len(pts) / 2
-			// Positions are distinct, so pts[mid-1].X < pts[mid].X and
-			// the median is a valid cut strictly inside (lo, hi).
-			cut := pts[mid].X
-			disk := r.opt.diskFor(len(r.shards) + 1)
-			left := newShard(r.opt, disk, s.lo, cut, pts[:mid])
-			right := newShard(r.opt, disk, cut, s.hi, pts[mid:])
-			r.retire(s)
-			r.shards = append(r.shards[:i:i], append([]*shard{left, right}, r.shards[i+1:]...)...)
-			r.splits.Add(1)
-			r.observeFleetPeak()
-			split = true
-			break
-		}
-		if !split {
-			return
-		}
-	}
-}
-
-// mergeUnderloaded re-checks the merge policy under the write lock and
-// coalesces qualifying shards with their neighbors until none
-// qualifies. Re-checking is required for the same reason as in
-// splitOverloaded: between the RUnlock that observed the underload and
-// this write lock, another goroutine may already have merged (or
-// refilled the shard).
-func (r *Router) mergeUnderloaded() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for r.mergeOnce() {
-	}
-}
-
-// mergeOnce coalesces the smallest underloaded shard with its smaller
-// adjacent neighbor and reports whether a merge happened. Candidates
-// are tried smallest-first; one is skipped when the combined shard
-// would itself trip the split policy's size test (the hysteresis that
-// prevents split/merge flapping — e.g. an emptied shard wedged between
-// two heavy ones stays put rather than fattening a neighbor the next
-// insert would cut apart). Caller holds mu in write mode.
-func (r *Router) mergeOnce() bool {
-	total := r.n.Load()
-	var cand []int
-	for i, s := range r.shards {
-		if r.underloaded(s.ix.Len(), total) {
-			cand = append(cand, i)
-		}
-	}
-	sort.Slice(cand, func(a, b int) bool {
-		return r.shards[cand[a]].ix.Len() < r.shards[cand[b]].ix.Len()
-	})
-	for _, i := range cand {
-		j := i - 1
-		if i == 0 || (i+1 < len(r.shards) && r.shards[i+1].ix.Len() < r.shards[i-1].ix.Len()) {
-			j = i + 1
-		}
-		if r.splitSize(r.shards[i].ix.Len()+r.shards[j].ix.Len(), total) {
-			continue
-		}
-		if j < i {
-			i, j = j, i
-		}
-		r.coalesce(i, j)
-		return true
-	}
-	return false
-}
-
-// coalesce replaces adjacent shards lo and lo+1 with one shard over
-// their union range, rebuilt with core.Bulk on a fresh disk sized for
-// the shrunken fleet. The rebuild cost is amortized against the
-// deletions that underloaded the shard — the same argument as the
-// paper's global rebuilding. Caller holds mu in write mode.
-func (r *Router) coalesce(lo, hi int) {
-	a, b := r.shards[lo], r.shards[hi]
-	pts := append(a.ix.Live(), b.ix.Live()...)
-	point.SortByX(pts)
-	merged := newShard(r.opt, r.opt.diskFor(len(r.shards)-1), a.lo, b.hi, pts)
-	r.retire(a)
-	r.retire(b)
-	r.shards = append(r.shards[:lo:lo], append([]*shard{merged}, r.shards[hi+1:]...)...)
-	r.merges.Add(1)
-	r.observeFleetPeak()
-}
-
-// transfers strips the space gauges from a discarded disk's meter,
-// leaving the form in which it may join the retired history: the
-// gauges describe blocks that cease to exist with the disk, so
-// keeping them would double-count the fleet footprint against the
-// rebuilt shard's fresh disk.
-func transfers(st em.Stats) em.Stats {
-	st.BlocksLive, st.BlocksPeak = 0, 0
-	return st
-}
-
-// retire folds a discarded disk's transfer counters into the retired
-// history. Caller holds mu in write mode.
-func (r *Router) retire(s *shard) {
-	r.retired = addStats(r.retired, transfers(s.d.Stats()))
-}
-
-// observeFleetPeak samples the fleet-wide live-block total into the
-// peak watermark. Callers hold mu in write mode (or own the router
-// exclusively, at construction), so no shard mutex can be concurrently
-// held and the meters are stable.
-func (r *Router) observeFleetPeak() {
-	var live int64
-	for _, s := range r.shards {
-		live += s.d.Stats().BlocksLive
-	}
-	r.observePeak(live)
-}
-
-// observePeak folds one observation of the fleet live total into the
-// peak watermark and returns the watermark.
-func (r *Router) observePeak(live int64) int64 {
-	for {
-		cur := r.peak.Load()
-		if live <= cur {
-			return cur
-		}
-		if r.peak.CompareAndSwap(cur, live) {
-			return live
-		}
-	}
-}
-
-// Splits returns the number of shard splits since creation.
-func (r *Router) Splits() int64 { return r.splits.Load() }
-
-// Merges returns the number of shard merges since creation.
-func (r *Router) Merges() int64 { return r.merges.Load() }
-
-// Rebalance re-partitions the router into up to target equal quantile
-// shards (capped at MaxShards; target < 1 means MaxShards), preserving
-// contents exactly.
-func (r *Router) Rebalance(target int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if target < 1 || target > r.opt.MaxShards {
-		target = r.opt.MaxShards
-	}
-	var all []point.P
-	retired := r.retired
-	for _, s := range r.shards {
-		all = append(all, s.ix.Live()...)
-		retired = addStats(retired, transfers(s.d.Stats()))
-	}
-	point.SortByX(all)
-	// Build first, commit after: if the rebuild panics (e.g. a
-	// contract violation that slipped into the data), the router keeps
-	// its old shards and meters instead of double-counting retired
-	// stats on a retry.
-	shards := partition(r.opt, all, target)
-	r.retired = retired
-	r.shards = shards
-	r.observeFleetPeak()
-}
-
-// panicBox carries a recovered panic value across goroutines with a
-// single concrete type, as atomic.Value requires.
-type panicBox struct{ v any }
-
-// runParallel runs each fn in its own goroutine and waits for all.
-// A panic inside a worker (an internal invariant violation — contract
-// violations on caller input are rejected with errors before reaching
-// here) is captured and re-raised on the caller's goroutine after
-// every worker finishes — an unrecovered goroutine panic would kill
-// the whole process, and shard locks are released by the workers' own
-// defers.
-func runParallel(fns []func()) {
-	if len(fns) == 1 {
-		fns[0]()
-		return
-	}
-	var wg sync.WaitGroup
-	var pv atomic.Value
-	for _, f := range fns {
-		wg.Add(1)
-		go func(f func()) {
-			defer wg.Done()
-			defer func() {
-				if v := recover(); v != nil {
-					pv.CompareAndSwap(nil, &panicBox{v})
-				}
-			}()
-			f()
-		}(f)
-	}
-	wg.Wait()
-	if b := pv.Load(); b != nil {
-		panic(b.(*panicBox).v)
-	}
-}
-
-// listSource adapts a descending-score point list to heap.Source: a
-// sorted list is a unary max-heap chain (entry i's only child is
-// entry i+1), so heap.Forest + heap.SelectTop perform a k-way merge
-// that pops the global maximum at every step. Refs are list indices;
-// no I/O is charged (the lists are query results already in memory).
-type listSource []point.P
-
-func (l listSource) Roots() []heap.Entry {
-	if len(l) == 0 {
-		return nil
-	}
-	return []heap.Entry{{Ref: 0, Key: l[0].Score}}
-}
-
-func (l listSource) Children(ref int64) []heap.Entry {
-	next := ref + 1
-	if next >= int64(len(l)) {
-		return nil
-	}
-	return []heap.Entry{{Ref: next, Key: l[next].Score}}
-}
-
-// mergeTopK k-way merges per-shard descending-score lists into the
-// global top k, preserving exact order (scores are distinct). k is
-// clamped to the merged length first, so an absurd client-supplied k
-// cannot drive the output allocation.
-func mergeTopK(lists [][]point.P, k int) []point.P {
-	nonEmpty := lists[:0]
-	total := 0
-	for _, l := range lists {
-		if len(l) > 0 {
-			nonEmpty = append(nonEmpty, l)
-			total += len(l)
-		}
-	}
-	if k > total {
-		k = total
-	}
-	switch len(nonEmpty) {
-	case 0:
-		return nil
-	case 1:
-		if k < len(nonEmpty[0]) {
-			return nonEmpty[0][:k]
-		}
-		return nonEmpty[0]
-	}
-	f := &heap.Forest{Sources: make([]heap.Source, len(nonEmpty))}
-	for i, l := range nonEmpty {
-		f.Sources[i] = listSource(l)
-	}
-	out := make([]point.P, 0, k)
-	for _, e := range heap.SelectTop(f, k) {
-		src, ref := heap.SplitRef(e.Ref)
-		out = append(out, nonEmpty[src][ref])
-	}
-	return out
-}
-
-// fanOut runs per once for every shard overlapping [x1, x2], holding
-// the topology read lock throughout and the shard's mutex around its
-// call. setup receives the overlap count first so callers can size
-// result slices; slot indexes them 0..count−1 in shard order. With a
-// single overlapped shard everything runs on the caller's goroutine;
-// otherwise shards proceed in parallel. No query clamping is needed
-// anywhere: a shard only stores points inside its range, so the full
-// interval selects exactly its part.
-func (r *Router) fanOut(x1, x2 float64, setup func(count int), per func(slot int, ix *core.Index)) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	lo, hi := r.locate(x1), r.locate(x2)
-	setup(hi - lo + 1)
-	if lo == hi {
-		s := r.shards[lo]
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		per(0, s.ix)
-		return
-	}
-	fns := make([]func(), 0, hi-lo+1)
-	for i := lo; i <= hi; i++ {
-		s, slot := r.shards[i], i-lo
-		fns = append(fns, func() {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			per(slot, s.ix)
-		})
-	}
-	runParallel(fns)
-}
-
-// TopK returns the k highest-scoring points with position in [x1, x2]
-// in descending score order, fanning out to every shard the interval
-// overlaps in parallel and heap-merging the per-shard answers.
-func (r *Router) TopK(x1, x2 float64, k int) []point.P {
-	// NaN bounds match nothing; they must be rejected here because they
-	// also defeat the x1 > x2 guard and the locate binary search (every
-	// comparison with NaN is false), which would cross the fan-out's
-	// shard range.
-	if k <= 0 || x1 > x2 || math.IsNaN(x1) || math.IsNaN(x2) {
-		return nil
-	}
-	var lists [][]point.P
-	r.fanOut(x1, x2,
-		func(count int) { lists = make([][]point.P, count) },
-		func(slot int, ix *core.Index) { lists[slot] = ix.Query(x1, x2, k) })
-	return mergeTopK(lists, k)
-}
-
-// Count returns the number of stored points with position in [x1, x2],
-// summing overlapped shards in parallel.
-func (r *Router) Count(x1, x2 float64) int {
-	if x1 > x2 || math.IsNaN(x1) || math.IsNaN(x2) {
-		return 0
-	}
-	var counts []int
-	r.fanOut(x1, x2,
-		func(count int) { counts = make([]int, count) },
-		func(slot int, ix *core.Index) { counts[slot] = ix.Count(x1, x2) })
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	return total
+	return true, r.mergeable(t, si, ln, r.n.Add(-1))
 }
 
 // Op is one batched update: an insert of P, or a delete of P when
@@ -883,7 +500,8 @@ func (r *Router) ApplyBatch(ops []Op) []error {
 func (r *Router) applyBatchLocked(ops []Op, res []error) (over, under bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	groups := make(map[int][]int, len(r.shards))
+	t := r.snapshot()
+	groups := make(map[int][]int, len(t.shards))
 	for i, op := range ops {
 		if !op.Delete && !op.P.Finite() {
 			// Reject inserts up front: a non-finite score would poison
@@ -893,7 +511,7 @@ func (r *Router) applyBatchLocked(ops []Op, res []error) (over, under bool) {
 			res[i] = core.ErrInvalidPoint
 			continue
 		}
-		si := r.locate(op.P.X)
+		si := t.locate(op.P.X)
 		groups[si] = append(groups[si], i)
 	}
 	lens := make([]int, len(groups)) // final sizes of touched shards
@@ -901,7 +519,7 @@ func (r *Router) applyBatchLocked(ops []Op, res []error) (over, under bool) {
 	fns := make([]func(), 0, len(groups))
 	nextSlot := 0
 	for si, idxs := range groups {
-		s, idxs, slot := r.shards[si], idxs, nextSlot
+		s, idxs, slot := t.shards[si], idxs, nextSlot
 		sis[slot] = si
 		nextSlot++
 		fns = append(fns, func() {
@@ -929,133 +547,16 @@ func (r *Router) applyBatchLocked(ops []Op, res []error) (over, under bool) {
 	runParallel(fns)
 	total := r.n.Load()
 	for slot, ln := range lens {
-		if r.overloaded(ln, total) {
+		if r.overloaded(t, ln, total) {
 			over = true
 		}
 		// All workers are done, so no shard mutex is held and
 		// mergeable may probe neighbor sizes.
-		if !under && r.mergeable(sis[slot], ln, total) {
+		if !under && r.mergeable(t, sis[slot], ln, total) {
 			under = true
 		}
 	}
 	return over, under
-}
-
-// Query is one read of a QueryBatch: the k highest-scoring points
-// with position in [X1, X2].
-type Query struct {
-	X1, X2 float64
-	K      int
-}
-
-// QueryBatch answers qs as one batch under a SINGLE topology read
-// lock, amortizing the lock acquisition and goroutine setup that a
-// loop of TopK calls would pay per query. Work is grouped by shard —
-// each shard's mutex is taken once and its queries run sequentially
-// on it (the EM machines are sequential), while distinct shards
-// proceed in parallel. Answers are positionally aligned with qs and
-// byte-identical to calling TopK once per query on the same topology;
-// invalid queries (k ≤ 0, inverted or NaN bounds) yield nil.
-func (r *Router) QueryBatch(qs []Query) [][]point.P {
-	if len(qs) == 0 {
-		return nil
-	}
-	out := make([][]point.P, len(qs))
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	type task struct{ qi, slot int }
-	tasks := make([][]task, len(r.shards))
-	lists := make([][][]point.P, len(qs))
-	for qi, q := range qs {
-		if q.K <= 0 || q.X1 > q.X2 || math.IsNaN(q.X1) || math.IsNaN(q.X2) {
-			continue
-		}
-		lo, hi := r.locate(q.X1), r.locate(q.X2)
-		lists[qi] = make([][]point.P, hi-lo+1)
-		for si := lo; si <= hi; si++ {
-			tasks[si] = append(tasks[si], task{qi, si - lo})
-		}
-	}
-	var fns []func()
-	for si, ts := range tasks {
-		if len(ts) == 0 {
-			continue
-		}
-		s, ts := r.shards[si], ts
-		fns = append(fns, func() {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			for _, t := range ts {
-				q := qs[t.qi]
-				lists[t.qi][t.slot] = s.ix.Query(q.X1, q.X2, q.K)
-			}
-		})
-	}
-	if len(fns) > 0 {
-		runParallel(fns)
-	}
-	for qi, ls := range lists {
-		if ls != nil {
-			out[qi] = mergeTopK(ls, qs[qi].K)
-		}
-	}
-	return out
-}
-
-func addStats(a, b em.Stats) em.Stats {
-	return em.Stats{
-		Reads:      a.Reads + b.Reads,
-		Writes:     a.Writes + b.Writes,
-		Allocs:     a.Allocs + b.Allocs,
-		Frees:      a.Frees + b.Frees,
-		BlocksLive: a.BlocksLive + b.BlocksLive,
-		BlocksPeak: a.BlocksPeak + b.BlocksPeak,
-	}
-}
-
-// Stats aggregates the I/O meters of every shard disk plus the
-// transfer counters of disks retired by splits, merges and rebalances
-// (retired space gauges are stripped at retire time — those blocks
-// die with the disk). BlocksLive is the fleet-wide live total;
-// BlocksPeak is the high-water mark of that fleet total as observed
-// at Stats calls and topology changes — a total some instant actually
-// held, not a sum of per-shard peaks from different instants.
-func (r *Router) Stats() em.Stats {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := r.retired
-	for _, s := range r.shards {
-		s.mu.Lock()
-		out = addStats(out, s.d.Stats())
-		s.mu.Unlock()
-	}
-	out.BlocksPeak = r.observePeak(out.BlocksLive)
-	return out
-}
-
-// ResetStats zeroes every shard's read/write counters and drops the
-// retired-meter history (space gauges are kept, matching em).
-func (r *Router) ResetStats() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.retired = em.Stats{}
-	for _, s := range r.shards {
-		s.mu.Lock()
-		s.d.ResetMeter()
-		s.mu.Unlock()
-	}
-}
-
-// DropCache evicts every shard's buffer pool so the next operations
-// run cold.
-func (r *Router) DropCache() {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for _, s := range r.shards {
-		s.mu.Lock()
-		s.d.DropCache()
-		s.mu.Unlock()
-	}
 }
 
 // CheckInvariants validates the topology (a contiguous cover of the
@@ -1067,12 +568,22 @@ func (r *Router) DropCache() {
 func (r *Router) CheckInvariants() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.shards) < 1 || len(r.shards) > r.opt.MaxShards {
-		return fmt.Errorf("shard count %d outside [1, MaxShards=%d]", len(r.shards), r.opt.MaxShards)
+	t := r.snapshot()
+	if t == nil {
+		return fmt.Errorf("nil topology snapshot")
 	}
+	if len(t.shards) < 1 || len(t.shards) > r.opt.MaxShards {
+		return fmt.Errorf("shard count %d outside [1, MaxShards=%d]", len(t.shards), r.opt.MaxShards)
+	}
+	// The write lock excludes all update paths, so each shard's
+	// contents need extracting only once: range membership and score
+	// registration are both checked off the same Live() slice. The
+	// score set is read under scoreMu taken AFTER the shard mutex is
+	// released — never nested with it, so the serving paths' s.mu →
+	// scoreMu order has no mirror here.
 	total := 0
 	prevHi := math.Inf(-1)
-	for i, s := range r.shards {
+	for i, s := range t.shards {
 		if i == 0 {
 			if !math.IsInf(s.lo, -1) {
 				return fmt.Errorf("shard 0 lo = %v, want -Inf", s.lo)
@@ -1080,18 +591,35 @@ func (r *Router) CheckInvariants() error {
 		} else if s.lo != prevHi {
 			return fmt.Errorf("shard %d lo = %v, want previous hi %v", i, s.lo, prevHi)
 		}
-		if i == len(r.shards)-1 && !math.IsInf(s.hi, 1) {
+		if i == len(t.shards)-1 && !math.IsInf(s.hi, 1) {
 			return fmt.Errorf("last shard hi = %v, want +Inf", s.hi)
 		}
-		if err := s.ix.CheckInvariants(); err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+		var live []point.P
+		if err := func() error {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if err := s.ix.CheckInvariants(); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+			live = s.ix.Live()
+			total += s.ix.Len()
+			return nil
+		}(); err != nil {
+			return err
 		}
-		for _, p := range s.ix.Live() {
+		for _, p := range live {
 			if p.X < s.lo || p.X >= s.hi {
 				return fmt.Errorf("shard %d [%v,%v): stray point x=%v", i, s.lo, s.hi, p.X)
 			}
 		}
-		total += s.ix.Len()
+		r.scoreMu.Lock()
+		for _, p := range live {
+			if _, ok := r.scores[p.Score]; !ok {
+				r.scoreMu.Unlock()
+				return fmt.Errorf("live score %v missing from router score set", p.Score)
+			}
+		}
+		r.scoreMu.Unlock()
 		prevHi = s.hi
 	}
 	if int64(total) != r.n.Load() {
@@ -1102,27 +630,5 @@ func (r *Router) CheckInvariants() error {
 	if len(r.scores) != total {
 		return fmt.Errorf("score set has %d entries, want %d", len(r.scores), total)
 	}
-	for _, s := range r.shards {
-		for _, p := range s.ix.Live() {
-			if _, ok := r.scores[p.Score]; !ok {
-				return fmt.Errorf("live score %v missing from router score set", p.Score)
-			}
-		}
-	}
 	return nil
-}
-
-// String summarizes the router and its shards.
-func (r *Router) String() string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	var b strings.Builder
-	fmt.Fprintf(&b, "shard.Router{n=%d, shards=%d", r.n.Load(), len(r.shards))
-	for i, s := range r.shards {
-		s.mu.Lock()
-		fmt.Fprintf(&b, ", s%d[%g,%g)=%d", i, s.lo, s.hi, s.ix.Len())
-		s.mu.Unlock()
-	}
-	b.WriteString("}")
-	return b.String()
 }

@@ -330,6 +330,46 @@ func TestStatsAggregationAcrossSplits(t *testing.T) {
 	}
 }
 
+// TestStatsResetNotTorn: Stats holds no topology lock, so its
+// serialization against ResetStats (statsMu) must prevent a report
+// from summing old retired history with half-zeroed meters. With no
+// other traffic, every report must show either the full pre-reset
+// write count or zero — any value strictly between is a torn read.
+func TestStatsResetNotTorn(t *testing.T) {
+	r := Bulk(testOptions(4), workload.NewGen(25).Uniform(3000, 1e6), 4)
+	r.Rebalance(4) // builds retired history, so a tear has two sources to mix
+	full := r.Stats().Writes
+	if full == 0 {
+		t.Fatal("no writes after bulk load + rebalance")
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				if w := r.Stats().Writes; w != full && w != 0 {
+					t.Errorf("torn Stats: writes = %d, want %d or 0", w, full)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		r.ResetStats()
+	}()
+	close(start)
+	wg.Wait()
+	if got := r.Stats().Writes; got != 0 {
+		t.Fatalf("writes after reset = %d", got)
+	}
+}
+
 func TestEmptyAndDegenerate(t *testing.T) {
 	r := New(testOptions(4))
 	if got := r.TopK(0, 1, 5); got != nil {
@@ -511,10 +551,11 @@ func TestPerShardPoolSizing(t *testing.T) {
 // mkRouter hand-builds a router with one shard per point group,
 // cutting between adjacent groups — direct topology construction for
 // policy unit tests (Bulk's equal quantiles can't produce skewed
-// fleets).
+// fleets). The maintenance loop starts if the options ask for one,
+// exactly as the real constructors do.
 func mkRouter(opt Options, groups [][]point.P) *Router {
-	opt = opt.withDefaults()
-	r := &Router{opt: opt, scores: map[float64]struct{}{}}
+	r := newRouter(opt)
+	var shards []*shard
 	lo := math.Inf(-1)
 	total := 0
 	for i, g := range groups {
@@ -523,14 +564,16 @@ func mkRouter(opt Options, groups [][]point.P) *Router {
 		if i < len(groups)-1 {
 			hi = groups[i+1][0].X
 		}
-		r.shards = append(r.shards, newShard(opt, opt.diskFor(len(groups)), lo, hi, g))
+		shards = append(shards, newShard(r.opt, r.opt.diskFor(len(groups)), lo, hi, g))
 		for _, p := range g {
 			r.scores[p.Score] = struct{}{}
 		}
 		total += len(g)
 		lo = hi
 	}
+	r.publish(shards, em.Stats{})
 	r.n.Store(int64(total))
+	r.startMaintenance()
 	return r
 }
 
@@ -673,7 +716,7 @@ func TestMergePicksSmallerNeighbor(t *testing.T) {
 	if got := r.NumShards(); got != 2 {
 		t.Fatalf("NumShards = %d, want 2: %s", got, r)
 	}
-	if got := r.shards[0].ix.Len(); got != 400 {
+	if got := r.snapshot().shards[0].size(); got != 400 {
 		t.Fatalf("left shard len = %d, want 400 (merge went left): %s", got, r)
 	}
 	if err := r.CheckInvariants(); err != nil {

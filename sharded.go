@@ -1,6 +1,8 @@
 package topk
 
 import (
+	"time"
+
 	"repro/internal/em"
 	"repro/internal/point"
 	"repro/internal/shard"
@@ -30,11 +32,23 @@ type ShardedConfig struct {
 	// MinMerge points — or less than 1/Skew of its fair share — the
 	// shard is coalesced with its smaller adjacent neighbor, so a
 	// delete-heavy workload cannot strand the fleet as many near-empty
-	// shards each paying fixed per-shard overhead. 0 selects the
-	// default (MinSplit/2); negative disables merging. Hysteresis is
-	// built in: a merge never produces a shard the split policy would
-	// immediately cut back apart.
+	// shards each paying fixed per-shard overhead. Negative disables
+	// merging. 0 selects auto mode: the floor starts at the default
+	// MinSplit/2 and the maintenance loop re-derives it each pass from
+	// observed per-shard space overhead (never below the default,
+	// capped at MinSplit). Hysteresis is built in: a merge never
+	// produces a shard the split policy would immediately cut back
+	// apart.
 	MinMerge int
+	// MaintenanceInterval, when positive, starts a background
+	// maintenance goroutine at construction: every interval it
+	// refreshes the adaptive merge floor, coalesces underloaded
+	// shards and splits overloaded ones, so a fleet left idle after
+	// heavy deletes coalesces without waiting for the next update to
+	// trip an inline lifecycle hook. Stop it with Close. 0 (the
+	// default) disables the loop; Maintain still runs a pass on
+	// demand.
+	MaintenanceInterval time.Duration
 }
 
 func (cfg ShardedConfig) options() (shard.Options, error) {
@@ -42,12 +56,13 @@ func (cfg ShardedConfig) options() (shard.Options, error) {
 		return shard.Options{}, err
 	}
 	return shard.Options{
-		Disk:       em.Config{B: cfg.BlockWords, M: cfg.MemoryWords},
-		Core:       coreOptions(cfg.Config),
-		MaxShards:  cfg.Shards,
-		SkewFactor: cfg.Skew,
-		MinSplit:   cfg.MinSplit,
-		MinMerge:   cfg.MinMerge,
+		Disk:                em.Config{B: cfg.BlockWords, M: cfg.MemoryWords},
+		Core:                coreOptions(cfg.Config),
+		MaxShards:           cfg.Shards,
+		SkewFactor:          cfg.Skew,
+		MinSplit:            cfg.MinSplit,
+		MinMerge:            cfg.MinMerge,
+		MaintenanceInterval: cfg.MaintenanceInterval,
 	}, nil
 }
 
@@ -101,7 +116,8 @@ func (s *Sharded) NumShards() int { return s.r.NumShards() }
 
 // Boundaries returns the current cut positions (len NumShards−1),
 // ascending — introspection for operators and for tests that craft
-// boundary-straddling queries.
+// boundary-straddling queries. Like every read, it is served from the
+// current topology snapshot and never contends with writers.
 func (s *Sharded) Boundaries() []float64 { return s.r.Boundaries() }
 
 // Insert adds the point (pos, score) under the same error contract as
@@ -126,12 +142,13 @@ func (s *Sharded) TopK(x1, x2 float64, k int) []Result {
 	return toResults(s.r.TopK(x1, x2, k))
 }
 
-// QueryBatch answers qs as one batch under a single topology read
-// lock: work is grouped per shard (each shard's mutex taken once for
-// the whole batch) and distinct shards run in parallel, amortizing
-// the lock acquisitions and goroutine setup a loop of TopK calls
-// would pay per query. Answers align positionally with qs and are
-// byte-identical to sequential TopK calls.
+// QueryBatch answers qs as one batch over a single pinned topology
+// snapshot (no topology lock is held — see DESIGN.md on snapshot
+// reads): work is grouped per shard (each shard's mutex taken once
+// for the whole batch) and distinct shards run in parallel,
+// amortizing the per-shard lock acquisitions and goroutine setup a
+// loop of TopK calls would pay per query. Answers align positionally
+// with qs and are byte-identical to sequential TopK calls.
 func (s *Sharded) QueryBatch(qs []Query) [][]Result {
 	if len(qs) == 0 {
 		return nil
@@ -174,6 +191,24 @@ func (s *Sharded) ApplyBatch(ops []BatchOp) []error {
 // splitting and deletes via merging; Rebalance remains the on-demand
 // full re-partition (e.g. to restore exact quantile cuts).
 func (s *Sharded) Rebalance(target int) { s.r.Rebalance(target) }
+
+// Maintain runs one synchronous maintenance pass — exactly what the
+// background loop runs every MaintenanceInterval: refresh the
+// adaptive merge floor, coalesce underloaded shards, split overloaded
+// ones. It is how an idle fleet stranded by past deletes is repaired
+// on demand, and how tests drive the lifecycle deterministically.
+func (s *Sharded) Maintain() { s.r.Maintain() }
+
+// Close stops the background maintenance goroutine, if one was
+// started, and waits for it to exit. Idempotent; the index keeps
+// serving after Close — only the timer-driven lifecycle passes stop.
+func (s *Sharded) Close() error { return s.r.Close() }
+
+// Epoch returns the current topology epoch. It increments every time
+// a new topology snapshot is published (splits, merges, rebalances,
+// stats resets), so operators can watch lifecycle activity cheaply;
+// cmd/topkd exports it under /v1/metrics.
+func (s *Sharded) Epoch() int64 { return s.r.Epoch() }
 
 // Splits returns the number of automatic shard splits since creation.
 func (s *Sharded) Splits() int64 { return s.r.Splits() }

@@ -54,6 +54,12 @@ type Query struct {
 // the same error contract, and no method panics on caller input. The
 // difference is operational — *Index is not safe for concurrent use
 // (even queries mutate the buffer pool's LRU state), *Sharded is.
+//
+// Backend-specific surface stays off the interface and is probed with
+// type assertions where needed: *Sharded additionally offers shard
+// introspection (NumShards, Boundaries, Epoch, Splits, Merges,
+// CheckInvariants) and the lifecycle controls (Rebalance, Maintain,
+// Close) — cmd/topkd does exactly this for /v1/stats and /v1/metrics.
 type Store interface {
 	// Len returns the number of live points.
 	Len() int
@@ -77,8 +83,8 @@ type Store interface {
 	TopK(x1, x2 float64, k int) []Result
 	// QueryBatch answers many queries at once, positionally aligned
 	// with qs and byte-identical to calling TopK per query. On
-	// Sharded the whole batch runs under one topology lock with
-	// per-shard fan-out; on Index it is a sequential loop.
+	// Sharded the whole batch runs over one pinned topology snapshot
+	// with per-shard fan-out; on Index it is a sequential loop.
 	QueryBatch(qs []Query) [][]Result
 	// Count returns the number of live points with position in [x1, x2].
 	Count(x1, x2 float64) int
