@@ -1,0 +1,540 @@
+package topk_test
+
+// Cluster correctness suite. Members are real HTTP servers (httptest)
+// mounting internal/serve over local Sharded stores, so every test
+// exercises the full wire path: gateway routing -> JSON -> member
+// store -> JSON -> gateway merge. The oracle is always a single
+// sequential Index over the same point set — the differential bar is
+// byte-identical answers (reflect.DeepEqual), exactly like the
+// Sharded ≡ Index suite.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	topk "repro"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func testClusterCfg() topk.Config {
+	return topk.Config{BlockWords: 64, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048}
+}
+
+// bandSpec declares one replica group of a test fleet.
+type bandSpec struct {
+	lo, hi   float64 // score band [lo, hi)
+	replicas int
+}
+
+// testFleet is a booted in-process member fleet.
+type testFleet struct {
+	servers [][]*httptest.Server // by band, then replica
+	addrs   []string
+}
+
+func (f *testFleet) close() {
+	for _, band := range f.servers {
+		for _, s := range band {
+			s.Close()
+		}
+	}
+}
+
+// bootFleet starts one httptest member per replica of every band, each
+// loaded with the band's slice of pts (replicas of a band are
+// identical, as the cluster requires).
+func bootFleet(t *testing.T, pts []topk.Result, bands []bandSpec) *testFleet {
+	t.Helper()
+	f := &testFleet{}
+	for _, b := range bands {
+		var bandPts []topk.Result
+		for _, p := range pts {
+			if b.lo <= p.Score && p.Score < b.hi {
+				bandPts = append(bandPts, p)
+			}
+		}
+		var replicas []*httptest.Server
+		for r := 0; r < b.replicas; r++ {
+			st, err := topk.LoadSharded(topk.ShardedConfig{Config: testClusterCfg(), Shards: 4}, bandPts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(serve.New(st, serve.Options{Lo: b.lo, Hi: b.hi}))
+			replicas = append(replicas, srv)
+			f.addrs = append(f.addrs, srv.URL)
+		}
+		f.servers = append(f.servers, replicas)
+	}
+	t.Cleanup(f.close)
+	return f
+}
+
+// uniformResults draws n contract-valid points.
+func uniformResults(seed int64, n int, domain float64) []topk.Result {
+	out := make([]topk.Result, 0, n)
+	for _, p := range workload.NewGen(seed).Uniform(n, domain) {
+		out = append(out, topk.Result{X: p.X, Score: p.Score})
+	}
+	return out
+}
+
+// checkClusterQueries compares TopK per query AND one QueryBatch over
+// all queries against the oracle, byte-identically.
+func checkClusterQueries(t *testing.T, cl *topk.Cluster, oracle *topk.Index, qs []workload.QuerySpec) {
+	t.Helper()
+	batch := make([]topk.Query, len(qs))
+	for i, q := range qs {
+		batch[i] = topk.Query{X1: q.X1, X2: q.X2, K: q.K}
+		got := cl.TopK(q.X1, q.X2, q.K)
+		want := oracle.TopK(q.X1, q.X2, q.K)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("TopK(%v, %v, %d): cluster diverged\ngot  %v\nwant %v", q.X1, q.X2, q.K, got, want)
+		}
+		if gc, wc := cl.Count(q.X1, q.X2), oracle.Count(q.X1, q.X2); gc != wc {
+			t.Fatalf("Count(%v, %v) = %d, oracle %d", q.X1, q.X2, gc, wc)
+		}
+	}
+	gotB := cl.QueryBatch(batch)
+	wantB := oracle.QueryBatch(batch)
+	if !reflect.DeepEqual(gotB, wantB) {
+		t.Fatalf("QueryBatch diverged from oracle")
+	}
+}
+
+// TestClusterMatchesIndex is the acceptance differential: a 3-node
+// cluster (one member per score band) answers every read byte-
+// identically to one sequential Index — including full-range queries
+// whose answers interleave all three bands (every query whose k
+// exceeds one band's contribution straddles node boundaries, because
+// bands partition by SCORE and descending-score answers alternate
+// across them) — and updates through the gateway keep it that way.
+func TestClusterMatchesIndex(t *testing.T) {
+	pts := uniformResults(91, 3000, 1e6)
+	// Cut the score domain (Uniform scores are ~U[0,1)-scaled; derive
+	// cuts from the data to get three equal thirds).
+	cuts := scoreQuantiles(pts, 3)
+	fleet := bootFleet(t, pts, []bandSpec{
+		{math.Inf(-1), cuts[0], 1},
+		{cuts[0], cuts[1], 1},
+		{cuts[1], math.Inf(1), 1},
+	})
+	cl, err := topk.NewCluster(topk.ClusterConfig{Members: fleet.addrs, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	oracle, err := topk.Load(testClusterCfg(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Len() != oracle.Len() {
+		t.Fatalf("Len = %d, oracle %d", cl.Len(), oracle.Len())
+	}
+	if g := cl.Groups(); g != 3 {
+		t.Fatalf("Groups = %d, want 3", g)
+	}
+
+	gen := workload.NewGen(92)
+	qs := gen.Queries(64, 1e6, 0.001, 0.05, 48)
+	// Full-range and oversized-k queries interleave every band's
+	// answers through the shared merge.
+	qs = append(qs,
+		workload.QuerySpec{X1: math.Inf(-1), X2: math.Inf(1), K: 100},
+		workload.QuerySpec{X1: 0, X2: 1e6, K: len(pts) + 500},
+		workload.QuerySpec{X1: 2e5, X2: 7e5, K: 1})
+	checkClusterQueries(t, cl, oracle, qs)
+
+	// Updates through the gateway: inserts and deletes mirror onto the
+	// oracle; answers must stay identical.
+	rng := rand.New(rand.NewSource(93))
+	for i := 0; i < 300; i++ {
+		if i%3 == 0 { // delete an existing point
+			j := rng.Intn(len(pts))
+			p := pts[j]
+			found := cl.Delete(p.X, p.Score)
+			wantFound := oracle.Delete(p.X, p.Score)
+			if found != wantFound {
+				t.Fatalf("Delete(%v, %v) = %v, oracle %v", p.X, p.Score, found, wantFound)
+			}
+			continue
+		}
+		p := topk.Result{X: 2e6 + float64(i), Score: 2 + float64(i)/1000}
+		if err := cl.Insert(p.X, p.Score); err != nil {
+			t.Fatalf("Insert(%v, %v): %v", p.X, p.Score, err)
+		}
+		if err := oracle.Insert(p.X, p.Score); err != nil {
+			t.Fatalf("oracle Insert: %v", err)
+		}
+	}
+	if cl.Len() != oracle.Len() {
+		t.Fatalf("after churn: Len = %d, oracle %d", cl.Len(), oracle.Len())
+	}
+	checkClusterQueries(t, cl, oracle, qs)
+
+	// Error parity with the local backends.
+	if err := cl.Insert(math.NaN(), 1); !errors.Is(err, topk.ErrInvalidPoint) {
+		t.Fatalf("NaN insert: %v, want ErrInvalidPoint", err)
+	}
+	// A duplicate of a PRELOADED score routes to its owning member,
+	// whose local store rejects it authoritatively.
+	if err := cl.Insert(-5e6, pts[7].Score); !errors.Is(err, topk.ErrDuplicateScore) {
+		t.Fatalf("preloaded duplicate score: %v, want ErrDuplicateScore", err)
+	}
+	// Duplicates of GATEWAY-written points are rejected at the router,
+	// position checked before score like every backend.
+	if err := cl.Insert(3e6, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Insert(3e6, 4.5); !errors.Is(err, topk.ErrDuplicatePosition) {
+		t.Fatalf("duplicate position: %v, want ErrDuplicatePosition", err)
+	}
+	if err := cl.Insert(4e6, 3.5); !errors.Is(err, topk.ErrDuplicateScore) {
+		t.Fatalf("duplicate score: %v, want ErrDuplicateScore", err)
+	}
+	if cl.Delete(999e6, 999) {
+		t.Fatal("delete of absent point reported found")
+	}
+	// Batch outcomes: one applied insert, one duplicate, one absent
+	// delete, one applied delete — per-op errors under the contract.
+	errs := cl.ApplyBatch([]topk.BatchOp{
+		{X: 5e6, Score: 5.5},
+		{X: 5e6 + 1, Score: 5.5},
+		{Delete: true, X: 123e6, Score: 77},
+		{Delete: true, X: 5e6, Score: 5.5},
+	})
+	if errs[0] != nil || !errors.Is(errs[1], topk.ErrDuplicateScore) || !errors.Is(errs[2], topk.ErrNotFound) || errs[3] != nil {
+		t.Fatalf("batch outcomes: %v", errs)
+	}
+	// Non-finite deletes answer ErrNotFound at the gateway (JSON could
+	// not even carry them) without poisoning the valid ops sharing the
+	// batch — exactly the Index/Sharded contract.
+	errs = cl.ApplyBatch([]topk.BatchOp{
+		{Delete: true, X: 2, Score: math.NaN()},
+		{X: 6e6, Score: 6.5},
+		{Delete: true, X: math.Inf(1), Score: 1},
+	})
+	if !errors.Is(errs[0], topk.ErrNotFound) || errs[1] != nil || !errors.Is(errs[2], topk.ErrNotFound) {
+		t.Fatalf("non-finite delete batch outcomes: %v", errs)
+	}
+	if cl.Delete(3, math.Inf(-1)) {
+		t.Fatal("delete of a non-finite point reported found")
+	}
+}
+
+// scoreQuantiles returns cuts splitting pts into parts equal score
+// bands.
+func scoreQuantiles(pts []topk.Result, parts int) []float64 {
+	scores := make([]float64, len(pts))
+	for i, p := range pts {
+		scores[i] = p.Score
+	}
+	sortFloats(scores)
+	cuts := make([]float64, 0, parts-1)
+	for i := 1; i < parts; i++ {
+		cuts = append(cuts, scores[i*len(scores)/parts])
+	}
+	return cuts
+}
+
+func sortFloats(fs []float64) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j] < fs[j-1]; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// TestClusterNodeDownReadFailover: a band with two replicas keeps
+// answering byte-identically after one replica dies mid-run — reads
+// fail over to the alternate, the health checker ejects the dead node,
+// and writes to the degraded band fail fast with ErrNodeDown while the
+// healthy band keeps accepting.
+func TestClusterNodeDownReadFailover(t *testing.T) {
+	pts := uniformResults(95, 2000, 1e6)
+	cuts := scoreQuantiles(pts, 2)
+	fleet := bootFleet(t, pts, []bandSpec{
+		{math.Inf(-1), cuts[0], 2}, // replicated band
+		{cuts[0], math.Inf(1), 1},
+	})
+	cl, err := topk.NewCluster(topk.ClusterConfig{
+		Members:        fleet.addrs,
+		Timeout:        2 * time.Second,
+		HealthInterval: 20 * time.Millisecond,
+		EjectAfter:     2,
+		EjectFor:       time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	oracle, err := topk.Load(testClusterCfg(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGen(96)
+	qs := gen.Queries(32, 1e6, 0.001, 0.05, 32)
+	qs = append(qs, workload.QuerySpec{X1: math.Inf(-1), X2: math.Inf(1), K: 200})
+	checkClusterQueries(t, cl, oracle, qs)
+
+	// Kill one replica of band 0 mid-run. Round-robin read preference
+	// will keep landing on it, so correctness now depends on the
+	// retry-on-alternate path.
+	fleet.servers[0][0].Close()
+	checkClusterQueries(t, cl, oracle, qs)
+	if cl.ReadFailovers() == 0 {
+		t.Fatal("no read failovers recorded despite a dead preferred replica")
+	}
+	// The background prober must eject the dead node on its own.
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.Ejected() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if cl.Ejected() != 1 {
+		t.Fatalf("Ejected = %d, want 1", cl.Ejected())
+	}
+	// With the node ejected, reads skip it (no growth in failovers
+	// needed) and stay exact.
+	checkClusterQueries(t, cl, oracle, qs)
+
+	// Writes: the degraded band refuses (consistency-first — writing
+	// around the dead replica would diverge the group); the healthy
+	// band accepts.
+	lowScore := cuts[0] - 1 // routes to band 0
+	if err := cl.Insert(9e6, lowScore); !errors.Is(err, topk.ErrNodeDown) {
+		t.Fatalf("write to degraded band: %v, want ErrNodeDown", err)
+	}
+	highScore := cuts[0] + 1 // routes to band 1
+	if err := cl.Insert(9e6, highScore); err != nil {
+		t.Fatalf("write to healthy band: %v", err)
+	}
+	if err := oracle.Insert(9e6, highScore); err != nil {
+		t.Fatal(err)
+	}
+	checkClusterQueries(t, cl, oracle, qs)
+}
+
+// TestClusterWholeBandDown: when every replica of a band is
+// unreachable, reads degrade to partial answers (the other bands'
+// points, still exactly merged) instead of failing, and writes to the
+// dark band report ErrNodeDown.
+func TestClusterWholeBandDown(t *testing.T) {
+	pts := uniformResults(97, 1000, 1e6)
+	cuts := scoreQuantiles(pts, 2)
+	fleet := bootFleet(t, pts, []bandSpec{
+		{math.Inf(-1), cuts[0], 1},
+		{cuts[0], math.Inf(1), 1},
+	})
+	cl, err := topk.NewCluster(topk.ClusterConfig{
+		Members: fleet.addrs,
+		Timeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Oracle over the surviving band only: the dark band contributes
+	// nothing, the rest must still merge exactly.
+	var highPts []topk.Result
+	for _, p := range pts {
+		if p.Score >= cuts[0] {
+			highPts = append(highPts, p)
+		}
+	}
+	survivors, err := topk.Load(testClusterCfg(), highPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.servers[0][0].Close()
+	got := cl.TopK(math.Inf(-1), math.Inf(1), 100)
+	want := survivors.TopK(math.Inf(-1), math.Inf(1), 100)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("partial read mismatch\ngot  %v\nwant %v", got, want)
+	}
+	if err := cl.Insert(42e6, cuts[0]-2); !errors.Is(err, topk.ErrNodeDown) {
+		t.Fatalf("write to dark band: %v, want ErrNodeDown", err)
+	}
+	if cl.Delete(42e6, cuts[0]-2) {
+		t.Fatal("delete routed to a dark band must report not found")
+	}
+	if err := cl.Insert(42e6, cuts[0]+2); err != nil {
+		t.Fatalf("write to live band: %v", err)
+	}
+}
+
+// TestClusterConfigValidation: the gateway refuses layouts it cannot
+// serve correctly.
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := topk.NewCluster(topk.ClusterConfig{}); !errors.Is(err, topk.ErrConfig) {
+		t.Fatalf("no members: %v, want ErrConfig", err)
+	}
+	// Unreachable member: construction must fail with ErrNodeDown, not
+	// guess a layout.
+	if _, err := topk.NewCluster(topk.ClusterConfig{
+		Members: []string{"127.0.0.1:1"},
+		Timeout: 500 * time.Millisecond,
+	}); !errors.Is(err, topk.ErrNodeDown) {
+		t.Fatalf("unreachable member: %v, want ErrNodeDown", err)
+	}
+	// A gap in the score tiling is a config error.
+	pts := uniformResults(98, 200, 1e6)
+	var loPts, hiPts []topk.Result
+	for _, p := range pts {
+		if p.Score < 0.3 {
+			loPts = append(loPts, p)
+		} else if p.Score >= 0.6 {
+			hiPts = append(hiPts, p)
+		}
+	}
+	mk := func(ps []topk.Result, lo, hi float64) *httptest.Server {
+		st, err := topk.LoadSharded(topk.ShardedConfig{Config: testClusterCfg(), Shards: 2}, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return httptest.NewServer(serve.New(st, serve.Options{Lo: lo, Hi: hi}))
+	}
+	a := mk(loPts, math.Inf(-1), 0.3)
+	b := mk(hiPts, 0.6, math.Inf(1))
+	defer a.Close()
+	defer b.Close()
+	if _, err := topk.NewCluster(topk.ClusterConfig{
+		Members: []string{a.URL, b.URL},
+		Timeout: 5 * time.Second,
+	}); err == nil {
+		t.Fatal("tiling gap accepted")
+	}
+	// Replicas that disagree on their live count are refused too.
+	c := mk(loPts[:len(loPts)-1], math.Inf(-1), 0.3)
+	d := mk(hiPts, 0.3, math.Inf(1))
+	e := mk(hiPts[:len(hiPts)/2], 0.3, math.Inf(1))
+	defer c.Close()
+	defer d.Close()
+	defer e.Close()
+	if _, err := topk.NewCluster(topk.ClusterConfig{
+		Members: []string{c.URL, d.URL, e.URL},
+		Timeout: 5 * time.Second,
+	}); err == nil {
+		t.Fatal("replica count mismatch accepted")
+	}
+}
+
+// TestClusterConcurrentChurn is the randomized concurrency test: many
+// goroutines insert, query and delete through one gateway (disjoint
+// identity bands per worker, scores spread across every member) while
+// readers fan out concurrently; after quiescing, the cluster must
+// answer byte-identically to an Index holding exactly the surviving
+// points. Run under -race in CI.
+func TestClusterConcurrentChurn(t *testing.T) {
+	pts := uniformResults(99, 600, 1e6)
+	cuts := scoreQuantiles(pts, 3)
+	fleet := bootFleet(t, pts, []bandSpec{
+		{math.Inf(-1), cuts[0], 1},
+		{cuts[0], cuts[1], 1},
+		{cuts[1], math.Inf(1), 1},
+	})
+	cl, err := topk.NewCluster(topk.ClusterConfig{
+		Members:        fleet.addrs,
+		Timeout:        10 * time.Second,
+		HealthInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const workers = 4
+	const rounds = 40
+	live := make([]map[topk.Result]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		live[w] = make(map[topk.Result]bool)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			var mine []topk.Result
+			for r := 0; r < rounds; r++ {
+				// Insert a small batch: identities disjoint per worker
+				// (position ≡ w mod workers scaled; scores likewise),
+				// spread across the full score domain so every member
+				// sees traffic.
+				ops := make([]topk.BatchOp, 0, 8)
+				var fresh []topk.Result
+				for j := 0; j < 4; j++ {
+					id := r*4 + j
+					p := topk.Result{
+						X:     5e6 + float64(id*workers+w),
+						Score: 10 + float64(id*workers+w)/100 + rng.Float64()/1e6,
+					}
+					ops = append(ops, topk.BatchOp{X: p.X, Score: p.Score})
+					fresh = append(fresh, p)
+				}
+				for i, err := range cl.ApplyBatch(ops) {
+					if err != nil {
+						t.Errorf("worker %d insert %v: %v", w, ops[i], err)
+						return
+					}
+				}
+				mine = append(mine, fresh...)
+				for _, p := range fresh {
+					live[w][p] = true
+				}
+				// Concurrent reads: just must not race or error.
+				cl.TopK(0, 1e7, 20)
+				cl.QueryBatch([]topk.Query{{X1: 4e6, X2: 6e6, K: 10}, {X1: 0, X2: 1e6, K: 5}})
+				// Delete one of our own live points now and then.
+				if len(mine) > 0 && rng.Intn(2) == 0 {
+					j := rng.Intn(len(mine))
+					p := mine[j]
+					if live[w][p] {
+						if !cl.Delete(p.X, p.Score) {
+							t.Errorf("worker %d: delete of own live point %v not found", w, p)
+							return
+						}
+						live[w][p] = false
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesced: rebuild the oracle from the preload plus every
+	// surviving gateway write, and demand exact agreement.
+	all := append([]topk.Result(nil), pts...)
+	for w := 0; w < workers; w++ {
+		for p, ok := range live[w] {
+			if ok {
+				all = append(all, p)
+			}
+		}
+	}
+	oracle, err := topk.Load(testClusterCfg(), all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Len() != oracle.Len() {
+		t.Fatalf("Len = %d, oracle %d", cl.Len(), oracle.Len())
+	}
+	gen := workload.NewGen(100)
+	qs := gen.Queries(48, 1e6, 0.001, 0.05, 32)
+	qs = append(qs,
+		workload.QuerySpec{X1: math.Inf(-1), X2: math.Inf(1), K: len(all)},
+		workload.QuerySpec{X1: 4e6, X2: 6e6, K: 500})
+	checkClusterQueries(t, cl, oracle, qs)
+	if ej := cl.Ejected(); ej != 0 {
+		t.Fatalf("healthy fleet reports %d ejected nodes", ej)
+	}
+	_ = fmt.Sprintf("%s", cl) // String must not race either
+}

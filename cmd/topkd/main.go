@@ -1,9 +1,16 @@
 // Command topkd serves a topk.Store over HTTP/JSON — the network face
-// of the serving stack. Handlers are written purely against the
-// topk.Store interface, so the backend is a startup flag: the default
-// concurrent Sharded router (net/http's per-connection goroutines
-// become router concurrency, no extra locking), or a single
-// sequential Index guarded by one mutex for comparison runs.
+// of the serving stack. Handlers (internal/serve) are written purely
+// against the topk.Store interface, so the backend is a startup flag:
+//
+//   - the default concurrent Sharded router (net/http's per-connection
+//     goroutines become router concurrency, no extra locking),
+//   - a single sequential Index guarded by one mutex for comparison
+//     runs (-backend single),
+//   - or a CLUSTER GATEWAY (-gateway nodeA,nodeB,...): the same /v1
+//     surface backed by a topk.Cluster that score-routes writes to
+//     remote member topkd processes and scatter-gathers reads across
+//     them. Members declare their score band with -range lo:hi and the
+//     gateway discovers the fleet layout from each member's /v1/range.
 //
 // The API is versioned under /v1; the unversioned paths from the
 // first release are kept as thin aliases of the same handlers.
@@ -12,54 +19,48 @@
 //	$ curl -s 'localhost:8080/v1/topk?x1=100&x2=200&k=3'
 //	$ curl -s 'localhost:8080/v1/topk?x1=100&x2=200&k=3&offset=3'   # page 2
 //	$ curl -s localhost:8080/v1/metrics                             # Prometheus text format
+//	$ curl -s localhost:8080/v1/epoch                               # topology change feed
 //	$ curl -s -X POST localhost:8080/v1/insert -d '{"x":150.5,"score":9.9}'
-//	$ curl -s -X POST localhost:8080/v1/delete -d '{"x":150.5,"score":9.9}'
 //	$ curl -s -X POST localhost:8080/v1/batch -d '{"ops":[
 //	      {"op":"insert","x":1.5,"score":7.25},
-//	      {"op":"delete","x":150.5,"score":9.9},
-//	      {"op":"query","x1":0,"x2":100,"k":5}]}'
-//	$ curl -s 'localhost:8080/v1/count?x1=0&x2=1000'
-//	$ curl -s localhost:8080/v1/stats
+//	      {"op":"query","x1":0,"x2":100,"k":5,"offset":5}]}'
 //
-// Errors are structured: {"error":{"code":"duplicate_position",
-// "message":"..."}} with the code derived from the topk sentinel
-// errors (duplicate_position and duplicate_score map to 409,
-// invalid_point and malformed requests to 400).
+// Cluster quickstart (two members + gateway; see README for more):
 //
-// /v1/stats reports the fleet I/O meters and, on the sharded backend,
-// the shard count and split/merge lifecycle counters; /v1/metrics is
-// the same telemetry in Prometheus text format (plus the topology
-// epoch), served from the lock-free snapshot so scraping never
-// contends with traffic. -maintenance starts the router's background
-// merge/split sweep so an idle fleet keeps adapting. On SIGINT/SIGTERM
-// the server drains in-flight requests (bounded by -drain), stops the
-// maintenance loop and exits 0.
+//	$ topkd -addr :8081 -range :5        # member owning scores (-Inf, 5)
+//	$ topkd -addr :8082 -range 5:        # member owning scores [5, +Inf)
+//	$ topkd -addr :8080 -gateway localhost:8081,localhost:8082
+//
+// On SIGINT/SIGTERM the server drains in-flight requests (bounded by
+// -drain), stops background loops (maintenance or cluster health
+// checking) and exits 0.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	topk "repro"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	backend := flag.String("backend", "sharded", "index backend: sharded | single")
+	gateway := flag.String("gateway", "", "comma-separated member addresses; serve as a cluster gateway instead of a local store")
+	rangeFlag := flag.String("range", "", "score band this member owns, as lo:hi with open ends empty (e.g. :5, 5:10, 10:)")
 	shards := flag.Int("shards", 8, "maximum shard count (sharded backend)")
 	b := flag.Int("B", 64, "block size in words per shard disk")
 	m := flag.Int("M", 0, "buffer-pool words (fleet total when sharded; 0 = default)")
@@ -70,6 +71,8 @@ func main() {
 	forcePolylog := flag.Bool("force-polylog", true, "pin the §3.3 small-k component instead of the automatic regime test")
 	polylogF := flag.Int("polylog-f", 8, "§3.3 tree fanout f (0 = the paper's √(B·lg n))")
 	polylogLeafCap := flag.Int("polylog-leaf-cap", 2048, "§3.3 leaf capacity (0 = the paper's f·l·B)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout of gateway->member calls")
+	healthEvery := flag.Duration("health-interval", 2*time.Second, "member health-probe interval in gateway mode")
 	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -85,14 +88,33 @@ func main() {
 		MinMerge:            *minMerge,
 		MaintenanceInterval: *maintenance,
 	}
-	var pts []topk.Result
-	if *n > 0 {
-		pts = make([]topk.Result, 0, *n)
-		for _, p := range workload.NewGen(*seed).Uniform(*n, 1e6) {
-			pts = append(pts, topk.Result{X: p.X, Score: p.Score})
+	var opts serve.Options
+	if *rangeFlag != "" {
+		lo, hi, err := parseRange(*rangeFlag)
+		if err != nil {
+			log.Fatalf("topkd: -range: %v", err)
 		}
+		opts.Lo, opts.Hi = lo, hi
 	}
-	st, err := newStore(*backend, cfg, pts)
+
+	var st topk.Store
+	var err error
+	if *gateway != "" {
+		st, err = topk.NewCluster(topk.ClusterConfig{
+			Members:        strings.Split(*gateway, ","),
+			Timeout:        *timeout,
+			HealthInterval: *healthEvery,
+		})
+	} else {
+		var pts []topk.Result
+		if *n > 0 {
+			pts = make([]topk.Result, 0, *n)
+			for _, p := range workload.NewGen(*seed).Uniform(*n, 1e6) {
+				pts = append(pts, topk.Result{X: p.X, Score: p.Score})
+			}
+		}
+		st, err = newStore(*backend, cfg, pts)
+	}
 	if err != nil {
 		log.Fatalf("topkd: %v", err)
 	}
@@ -102,12 +124,16 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("topkd: serving %s backend (n=%d) on %s", *backend, st.Len(), ln.Addr())
-	if err := serve(ctx, &http.Server{Handler: newServer(st)}, ln, *drain); err != nil {
+	mode := *backend
+	if *gateway != "" {
+		mode = fmt.Sprintf("gateway(%s)", *gateway)
+	}
+	log.Printf("topkd: serving %s backend (n=%d) on %s", mode, st.Len(), ln.Addr())
+	if err := serveLoop(ctx, &http.Server{Handler: serve.New(st, opts)}, ln, *drain); err != nil {
 		log.Fatalf("topkd: %v", err)
 	}
-	// Stop the background maintenance loop (sharded backend) after the
-	// last in-flight request has drained.
+	// Stop background loops (sharded maintenance, cluster health
+	// prober) after the last in-flight request has drained.
 	if c, ok := st.(interface{ Close() error }); ok {
 		if err := c.Close(); err != nil {
 			log.Fatalf("topkd: close: %v", err)
@@ -116,12 +142,36 @@ func main() {
 	log.Printf("topkd: drained, exiting")
 }
 
-// serve runs srv on ln until the listener fails or ctx is cancelled
-// (SIGINT/SIGTERM via signal.NotifyContext in main). On cancellation
-// it drains: Shutdown stops accepting, lets in-flight requests — a
-// /v1/batch mid-write included — complete within the drain budget,
-// and returns nil on a clean exit so topkd exits 0.
-func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+// parseRange parses a -range flag of the form "lo:hi" where either end
+// may be empty for an open (infinite) end. The band is [lo, hi).
+func parseRange(s string) (lo, hi float64, err error) {
+	cut := strings.IndexByte(s, ':')
+	if cut < 0 {
+		return 0, 0, fmt.Errorf("want lo:hi (open ends empty), got %q", s)
+	}
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if part := s[:cut]; part != "" {
+		if lo, err = strconv.ParseFloat(part, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad lo %q: %v", part, err)
+		}
+	}
+	if part := s[cut+1:]; part != "" {
+		if hi, err = strconv.ParseFloat(part, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad hi %q: %v", part, err)
+		}
+	}
+	if !(lo < hi) {
+		return 0, 0, fmt.Errorf("empty band [%v, %v)", lo, hi)
+	}
+	return lo, hi, nil
+}
+
+// serveLoop runs srv on ln until the listener fails or ctx is
+// cancelled (SIGINT/SIGTERM via signal.NotifyContext in main). On
+// cancellation it drains: Shutdown stops accepting, lets in-flight
+// requests — a /v1/batch mid-write included — complete within the
+// drain budget, and returns nil on a clean exit so topkd exits 0.
+func serveLoop(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -134,7 +184,7 @@ func serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 	}
 }
 
-// newStore builds the chosen backend behind the Store interface.
+// newStore builds the chosen local backend behind the Store interface.
 func newStore(backend string, cfg topk.ShardedConfig, pts []topk.Result) (topk.Store, error) {
 	switch backend {
 	case "sharded":
@@ -155,402 +205,12 @@ func newStore(backend string, cfg topk.ShardedConfig, pts []topk.Result) (topk.S
 		}
 		// An Index is one sequential EM machine; one mutex turns it
 		// into a (serialized) Store for comparison runs.
-		return &lockedStore{idx: idx}, nil
+		return serve.LockedIndex(idx), nil
 	default:
 		return nil, fmt.Errorf("unknown backend %q (want sharded or single)", backend)
 	}
 }
 
-// lockedStore serializes a sequential *Index behind the Store
-// interface. It exists so -backend single can answer concurrent HTTP
-// traffic correctly (if slowly) — the measured argument for the
-// sharded backend.
-type lockedStore struct {
-	mu  sync.Mutex
-	idx *topk.Index
-}
-
-func (l *lockedStore) Len() int { l.mu.Lock(); defer l.mu.Unlock(); return l.idx.Len() }
-func (l *lockedStore) Insert(pos, score float64) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.idx.Insert(pos, score)
-}
-func (l *lockedStore) Delete(pos, score float64) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.idx.Delete(pos, score)
-}
-func (l *lockedStore) ApplyBatch(ops []topk.BatchOp) []error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.idx.ApplyBatch(ops)
-}
-func (l *lockedStore) TopK(x1, x2 float64, k int) []topk.Result {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.idx.TopK(x1, x2, k)
-}
-func (l *lockedStore) QueryBatch(qs []topk.Query) [][]topk.Result {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.idx.QueryBatch(qs)
-}
-func (l *lockedStore) Count(x1, x2 float64) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.idx.Count(x1, x2)
-}
-func (l *lockedStore) Stats() topk.Stats { l.mu.Lock(); defer l.mu.Unlock(); return l.idx.Stats() }
-func (l *lockedStore) ResetStats()       { l.mu.Lock(); defer l.mu.Unlock(); l.idx.ResetStats() }
-func (l *lockedStore) DropCache()        { l.mu.Lock(); defer l.mu.Unlock(); l.idx.DropCache() }
-
-// pointReq is the body of /v1/insert and /v1/delete.
-type pointReq struct {
-	X     float64 `json:"x"`
-	Score float64 `json:"score"`
-}
-
-// resultJSON mirrors topk.Result with lowercase keys.
-type resultJSON struct {
-	X     float64 `json:"x"`
-	Score float64 `json:"score"`
-}
-
-func toJSON(res []topk.Result) []resultJSON {
-	out := make([]resultJSON, len(res))
-	for i, p := range res {
-		out[i] = resultJSON{X: p.X, Score: p.Score}
-	}
-	return out
-}
-
-// batchOp is one element of a /v1/batch request: op is "insert",
-// "delete" (x, score) or "query" (x1, x2, k).
-type batchOp struct {
-	Op    string  `json:"op"`
-	X     float64 `json:"x"`
-	Score float64 `json:"score"`
-	X1    float64 `json:"x1"`
-	X2    float64 `json:"x2"`
-	K     int     `json:"k"`
-}
-
-// batchItem is one element of a /v1/batch response, aligned with the
-// request ops. Updates carry ok (+error when rejected); queries carry
-// their results.
-type batchItem struct {
-	OK      bool         `json:"ok"`
-	Error   *errJSON     `json:"error,omitempty"`
-	Results []resultJSON `json:"results,omitempty"`
-}
-
-// newServer returns the topkd handler tree over st. Handlers use only
-// the topk.Store interface; Sharded-specific introspection (shard
-// count in /v1/stats) is probed through an optional interface.
-func newServer(st topk.Store) http.Handler {
-	mux := http.NewServeMux()
-
-	// handle registers h under /v1/pattern and, as a compatibility
-	// alias, under the unversioned path of the first release.
-	handle := func(method, pattern string, h http.HandlerFunc) {
-		mux.HandleFunc(method+" /v1"+pattern, h)
-		mux.HandleFunc(method+" "+pattern, h)
-	}
-
-	handle("POST", "/insert", func(w http.ResponseWriter, r *http.Request) {
-		var req pointReq
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
-			return
-		}
-		// Insert is atomic check-and-insert under the shard lock, so
-		// concurrent duplicates race to one 200 and one 409 — and a
-		// duplicate score anywhere in the fleet is a 409 too.
-		if err := st.Insert(req.X, req.Score); err != nil {
-			writeErr(w, err)
-			return
-		}
-		writeJSON(w, map[string]any{"ok": true, "n": st.Len()})
-	})
-
-	handle("POST", "/delete", func(w http.ResponseWriter, r *http.Request) {
-		var req pointReq
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
-			return
-		}
-		found := st.Delete(req.X, req.Score)
-		writeJSON(w, map[string]any{"found": found, "n": st.Len()})
-	})
-
-	handle("POST", "/batch", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Ops []batchOp `json:"ops"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
-			return
-		}
-		items, err := runBatch(st, req.Ops)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad_request", "%v", err)
-			return
-		}
-		writeJSON(w, map[string]any{"results": items, "n": st.Len()})
-	})
-
-	handle("GET", "/topk", func(w http.ResponseWriter, r *http.Request) {
-		x1, err1 := queryFloat(r, "x1")
-		x2, err2 := queryFloat(r, "x2")
-		k, err3 := queryInt(r, "k")
-		if err1 != nil || err2 != nil || err3 != nil {
-			httpError(w, http.StatusBadRequest, "bad_request", "need float x1, x2 and int k")
-			return
-		}
-		// Pagination for large k: ?offset=N skips the N highest-scoring
-		// qualifying points, so a client can walk a huge answer in
-		// pages of k without the server ever allocating beyond the live
-		// size (the clamp below caps offset+k at n first).
-		off := 0
-		if s := r.URL.Query().Get("offset"); s != "" {
-			var err error
-			if off, err = strconv.Atoi(s); err != nil || off < 0 {
-				httpError(w, http.StatusBadRequest, "bad_request", "offset must be a non-negative int")
-				return
-			}
-		}
-		res := st.TopK(x1, x2, clampPage(st, off, k))
-		if off < len(res) {
-			res = res[off:]
-		} else {
-			res = nil
-		}
-		writeJSON(w, map[string]any{"results": toJSON(res), "offset": off})
-	})
-
-	handle("GET", "/count", func(w http.ResponseWriter, r *http.Request) {
-		x1, err1 := queryFloat(r, "x1")
-		x2, err2 := queryFloat(r, "x2")
-		if err1 != nil || err2 != nil {
-			httpError(w, http.StatusBadRequest, "bad_request", "need float x1 and x2")
-			return
-		}
-		writeJSON(w, map[string]any{"count": st.Count(x1, x2)})
-	})
-
-	// Prometheus text-format metrics, the machine-scrapable twin of the
-	// JSON /v1/stats. On the sharded backend everything here is served
-	// from the topology snapshot, atomic counters and brief per-shard
-	// meter reads — a scrape never takes the topology lock, so it
-	// cannot stall lifecycle or update writers (on -backend single the
-	// store mutex still serializes the scrape with traffic, like every
-	// other request there).
-	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
-		s := st.Stats()
-		var b strings.Builder
-		metric := func(name, typ, help string, v int64) {
-			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
-		}
-		metric("topkd_points_live", "gauge", "Number of live points.", int64(st.Len()))
-		metric("topkd_io_reads_total", "counter", "Block reads charged by the simulated EM disks (retired disks included).", s.Reads)
-		metric("topkd_io_writes_total", "counter", "Block writes charged by the simulated EM disks (retired disks included).", s.Writes)
-		metric("topkd_blocks_live", "gauge", "Disk blocks currently occupied fleet-wide.", s.BlocksLive)
-		metric("topkd_blocks_peak", "gauge", "High-water mark of the fleet-wide live-block total.", s.BlocksPeak)
-		if sh, ok := st.(interface{ NumShards() int }); ok {
-			metric("topkd_shards", "gauge", "Current shard count.", int64(sh.NumShards()))
-		}
-		if lc, ok := st.(interface {
-			Splits() int64
-			Merges() int64
-		}); ok {
-			metric("topkd_shard_splits_total", "counter", "Automatic shard splits since startup.", lc.Splits())
-			metric("topkd_shard_merges_total", "counter", "Automatic shard merges since startup.", lc.Merges())
-		}
-		if ep, ok := st.(interface{ Epoch() int64 }); ok {
-			// A gauge, not a counter: it tracks the snapshot version,
-			// which also advances on stats resets, not only on
-			// split/merge/rebalance lifecycle events.
-			metric("topkd_topology_epoch", "gauge", "Topology snapshot version; increments on every snapshot publish (splits, merges, rebalances, stats resets).", ep.Epoch())
-		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_, _ = w.Write([]byte(b.String()))
-	})
-
-	handle("GET", "/stats", func(w http.ResponseWriter, r *http.Request) {
-		s := st.Stats()
-		out := map[string]any{
-			"n":           st.Len(),
-			"reads":       s.Reads,
-			"writes":      s.Writes,
-			"blocks_live": s.BlocksLive,
-			"blocks_peak": s.BlocksPeak,
-		}
-		if sh, ok := st.(interface{ NumShards() int }); ok {
-			out["shards"] = sh.NumShards()
-		}
-		// Shard-lifecycle counters: how many automatic splits and
-		// delete-triggered merges the router has performed.
-		if lc, ok := st.(interface {
-			Splits() int64
-			Merges() int64
-		}); ok {
-			out["splits"] = lc.Splits()
-			out["merges"] = lc.Merges()
-		}
-		writeJSON(w, out)
-	})
-
-	return withRecover(mux)
-}
-
-// runBatch executes a mixed /v1/batch payload: the update ops run
-// first as one ApplyBatch, then the query ops as one QueryBatch, and
-// the per-op outcomes are stitched back into request order. Queries
-// therefore observe every update of their own batch (on Sharded, the
-// documented caveat applies within the update half: an insert reusing
-// a score deleted on another shard in the same batch may lose the
-// race and be rejected).
-func runBatch(st topk.Store, ops []batchOp) ([]batchItem, error) {
-	updates := make([]topk.BatchOp, 0, len(ops))
-	updateAt := make([]int, 0, len(ops))
-	queries := make([]topk.Query, 0)
-	queryAt := make([]int, 0)
-	for i, op := range ops {
-		switch op.Op {
-		case "insert":
-			updates = append(updates, topk.BatchOp{X: op.X, Score: op.Score})
-			updateAt = append(updateAt, i)
-		case "delete":
-			updates = append(updates, topk.BatchOp{Delete: true, X: op.X, Score: op.Score})
-			updateAt = append(updateAt, i)
-		case "query":
-			queries = append(queries, topk.Query{X1: op.X1, X2: op.X2, K: op.K})
-			queryAt = append(queryAt, i)
-		default:
-			return nil, fmt.Errorf("op %d: unknown op %q (want insert, delete or query)", i, op.Op)
-		}
-	}
-	items := make([]batchItem, len(ops))
-	for j, err := range st.ApplyBatch(updates) {
-		if err != nil {
-			items[updateAt[j]] = batchItem{Error: toErrJSON(err)}
-		} else {
-			items[updateAt[j]] = batchItem{OK: true}
-		}
-	}
-	// Clamp k only now: the batch's own inserts may have grown the
-	// live set the queries are about to observe.
-	for j := range queries {
-		queries[j].K = clampK(st, queries[j].K)
-	}
-	for j, res := range st.QueryBatch(queries) {
-		items[queryAt[j]] = batchItem{OK: true, Results: toJSON(res)}
-	}
-	return items, nil
-}
-
-// clampK caps a client k at the live size: k > n returns everything
-// anyway, and the selection paths preallocate k-sized buffers, so an
-// absurd client k must not size an allocation.
-func clampK(st topk.Store, k int) int {
-	if n := st.Len(); k > n {
-		return n
-	}
-	return k
-}
-
-// clampPage sizes the fetch for a paginated /v1/topk: the offset
-// points plus the page of k, capped at the live size. A page that is
-// empty by construction — k ≤ 0, or the offset at/past the live size —
-// fetches nothing at all, so a cheap request can never force a full
-// materialization it then discards. The comparison form avoids
-// overflow when a client sends offset and k both near MaxInt.
-func clampPage(st topk.Store, off, k int) int {
-	n := st.Len()
-	if k <= 0 || off >= n {
-		return 0
-	}
-	if k > n {
-		k = n
-	}
-	if off > n-k {
-		return n
-	}
-	return off + k
-}
-
-// withRecover turns handler panics into JSON 500s. Contract
-// violations return errors in API v1, so a panic here is an internal
-// invariant failure — the router releases its locks on panic
-// (internal/shard unlocks with defer), so one poisoned request cannot
-// wedge the fleet; without this middleware net/http would just sever
-// the connection.
-func withRecover(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer func() {
-			if v := recover(); v != nil {
-				log.Printf("topkd: %s %s panicked: %v", r.Method, r.URL.Path, v)
-				httpError(w, http.StatusInternalServerError, "internal", "internal error: %v", v)
-			}
-		}()
-		next.ServeHTTP(w, r)
-	})
-}
-
-func queryFloat(r *http.Request, key string) (float64, error) {
-	return strconv.ParseFloat(r.URL.Query().Get(key), 64)
-}
-
-func queryInt(r *http.Request, key string) (int, error) {
-	return strconv.Atoi(r.URL.Query().Get(key))
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("topkd: encode: %v", err)
-	}
-}
-
-// errJSON is the structured error body: {"error":{"code":..,"message":..}}.
-type errJSON struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
-// errCode maps a topk sentinel error to an HTTP status and a stable
-// machine-readable code.
-func errCode(err error) (int, string) {
-	switch {
-	case errors.Is(err, topk.ErrDuplicatePosition):
-		return http.StatusConflict, "duplicate_position"
-	case errors.Is(err, topk.ErrDuplicateScore):
-		return http.StatusConflict, "duplicate_score"
-	case errors.Is(err, topk.ErrInvalidPoint):
-		return http.StatusBadRequest, "invalid_point"
-	case errors.Is(err, topk.ErrNotFound):
-		return http.StatusNotFound, "not_found"
-	default:
-		return http.StatusInternalServerError, "internal"
-	}
-}
-
-func toErrJSON(err error) *errJSON {
-	_, code := errCode(err)
-	return &errJSON{Code: code, Message: err.Error()}
-}
-
-// writeErr renders a store error with its mapped status and code.
-func writeErr(w http.ResponseWriter, err error) {
-	status, code := errCode(err)
-	httpError(w, status, code, "%v", err)
-}
-
-func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]any{
-		"error": errJSON{Code: code, Message: fmt.Sprintf(format, args...)},
-	})
-}
+// newServer returns the topkd handler tree over st with no member
+// band — the shape every pre-cluster test mounts.
+func newServer(st topk.Store) http.Handler { return serve.New(st, serve.Options{}) }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	topk "repro"
+	"repro/internal/serve"
 )
 
 // errBody is the structured v1 error envelope.
@@ -400,7 +402,7 @@ func TestSingleBackend(t *testing.T) {
 // TestRecoverMiddleware: a panicking handler yields a structured JSON
 // 500, not a severed connection.
 func TestRecoverMiddleware(t *testing.T) {
-	srv := httptest.NewServer(withRecover(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+	srv := httptest.NewServer(serve.WithRecover(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("boom")
 	})))
 	defer srv.Close()
@@ -482,7 +484,7 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	served := make(chan error, 1)
-	go func() { served <- serve(ctx, &http.Server{Handler: h}, ln, 5*time.Second) }()
+	go func() { served <- serveLoop(ctx, &http.Server{Handler: h}, ln, 5*time.Second) }()
 
 	reqDone := make(chan error, 1)
 	go func() {
@@ -585,8 +587,8 @@ func TestTopKPagination(t *testing.T) {
 	if z := get("x1=0&x2=200&k=0&offset=1000000"); len(z.Results) != 0 {
 		t.Fatalf("k=0 page: %+v", z)
 	}
-	if st := newTestStore(t, "sharded"); clampPage(st, 5, 0) != 0 || clampPage(st, 0, -3) != 0 || clampPage(st, 0, 5) != 0 {
-		t.Fatal("clampPage must be 0 for empty-by-construction pages")
+	if st := newTestStore(t, "sharded"); serve.ClampPage(st, 5, 0) != 0 || serve.ClampPage(st, 0, -3) != 0 || serve.ClampPage(st, 0, 5) != 0 {
+		t.Fatal("ClampPage must be 0 for empty-by-construction pages")
 	}
 	for _, q := range []string{"x1=0&x2=200&k=5&offset=-1", "x1=0&x2=200&k=5&offset=x"} {
 		resp, err := http.Get(srv.URL + "/v1/topk?" + q)
@@ -721,5 +723,119 @@ func TestStatsLifecycleCounters(t *testing.T) {
 		if _, ok := sst[key]; ok {
 			t.Fatalf("single backend reported %q: %v", key, sst)
 		}
+	}
+}
+
+// TestParseRange covers the -range member flag: open ends, explicit
+// bands, and rejected forms.
+func TestParseRange(t *testing.T) {
+	if lo, hi, err := parseRange(":5"); err != nil || !math.IsInf(lo, -1) || hi != 5 {
+		t.Fatalf("parseRange(:5) = %v %v %v", lo, hi, err)
+	}
+	if lo, hi, err := parseRange("5:"); err != nil || lo != 5 || !math.IsInf(hi, 1) {
+		t.Fatalf("parseRange(5:) = %v %v %v", lo, hi, err)
+	}
+	if lo, hi, err := parseRange("-2.5:7"); err != nil || lo != -2.5 || hi != 7 {
+		t.Fatalf("parseRange(-2.5:7) = %v %v %v", lo, hi, err)
+	}
+	if lo, hi, err := parseRange(":"); err != nil || !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
+		t.Fatalf("parseRange(:) = %v %v %v", lo, hi, err)
+	}
+	for _, bad := range []string{"", "5", "7:5", "5:5", "x:1", "1:y"} {
+		if _, _, err := parseRange(bad); err == nil {
+			t.Fatalf("parseRange(%q) accepted", bad)
+		}
+	}
+}
+
+// TestGatewayEndToEnd boots the full three-tier stack in-process: two
+// banded member topkd handler trees over httptest, a topk.Cluster
+// dialing them, and a GATEWAY topkd handler tree over the Cluster —
+// then drives the gateway exactly like a client would and checks the
+// answers, the aggregated stats, and the cluster metrics.
+func TestGatewayEndToEnd(t *testing.T) {
+	mkMember := func(lo, hi float64) *httptest.Server {
+		st, err := topk.NewSharded(topk.ShardedConfig{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return httptest.NewServer(serve.New(st, serve.Options{Lo: lo, Hi: hi}))
+	}
+	a := mkMember(math.Inf(-1), 5)
+	b := mkMember(5, math.Inf(1))
+	defer a.Close()
+	defer b.Close()
+	cl, err := topk.NewCluster(topk.ClusterConfig{
+		Members: []string{a.URL, b.URL},
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	gw := httptest.NewServer(newServer(cl))
+	defer gw.Close()
+
+	// Writes through the gateway land on the right members.
+	for i := 0; i < 20; i++ {
+		body := fmt.Sprintf(`{"x":%d,"score":%g}`, i, float64(i)/2)
+		resp, err := http.Post(gw.URL+"/v1/insert", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("insert %d: status %d", i, resp.StatusCode)
+		}
+	}
+	// Read back through the gateway: global top-3 spans the band cut.
+	resp, err := http.Get(gw.URL + "/v1/topk?x1=0&x2=100&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Results []struct {
+			X     float64 `json:"x"`
+			Score float64 `json:"score"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out.Results) != 3 || out.Results[0].Score != 9.5 || out.Results[1].Score != 9 || out.Results[2].Score != 8.5 {
+		t.Fatalf("gateway topk = %+v", out.Results)
+	}
+	// A duplicate through the gateway is a 409, same as local backends.
+	resp, err = http.Post(gw.URL+"/v1/insert", "application/json", strings.NewReader(`{"x":999,"score":4.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate via gateway: status %d, want 409", resp.StatusCode)
+	}
+	// Aggregated stats expose the fleet view.
+	resp, err = http.Get(gw.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats["n"].(float64) != 20 || stats["nodes"].(float64) != 2 || stats["ejected"].(float64) != 0 {
+		t.Fatalf("gateway stats = %v", stats)
+	}
+	// Prometheus metrics carry the cluster gauges.
+	resp, err = http.Get(gw.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(text), "topkd_cluster_nodes 2") {
+		t.Fatalf("metrics missing cluster gauges:\n%s", text)
 	}
 }

@@ -1,0 +1,166 @@
+package cluster
+
+// This file is the HTTP half of one member node: a node owns its base
+// URL and health state and speaks internal/serve's /v1 surface through
+// the cluster's shared, pooled transport. Every call takes a context
+// that already carries the per-request deadline (Cluster.callCtx), so
+// cancellation and timeouts thread end-to-end from the gateway's
+// caller down to the member's socket.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/point"
+)
+
+// node is one member process of the cluster.
+type node struct {
+	addr string // normalized base URL, e.g. http://host:port
+	hc   *http.Client
+
+	// Health state (health.go): consecutive failures and the ejection
+	// deadline, guarded by mu.
+	mu           sync.Mutex
+	fails        int
+	ejectedUntil time.Time
+}
+
+// get issues a GET and decodes the 200 body into out.
+func (n *node) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.addr+path, nil)
+	if err != nil {
+		return fmt.Errorf("%s: %w: %v", n.addr, ErrNodeDown, err)
+	}
+	return n.do(req, out)
+}
+
+// post issues a POST with a JSON body and decodes the 200 body into out.
+func (n *node) post(ctx context.Context, path string, body, out any) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return fmt.Errorf("%s: encode: %w", n.addr, err)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.addr+path, &buf)
+	if err != nil {
+		return fmt.Errorf("%s: %w: %v", n.addr, ErrNodeDown, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return n.do(req, out)
+}
+
+// do executes the request. Transport failures and 5xx responses wrap
+// ErrNodeDown (the member is unreachable or broken); structured non-2xx
+// envelopes map back to the library sentinels (the member answered and
+// rejected — not a node failure).
+func (n *node) do(req *http.Request, out any) error {
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("%s: %w: %v", n.addr, ErrNodeDown, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		var eb errBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error.Code != "" && resp.StatusCode < 500 {
+			return errFromCode(eb.Error.Code, eb.Error.Message)
+		}
+		return fmt.Errorf("%s: %w: http %d: %s", n.addr, ErrNodeDown, resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		// A 200 with an undecodable body is a broken member, not a
+		// rejection.
+		return fmt.Errorf("%s: %w: bad response body: %v", n.addr, ErrNodeDown, err)
+	}
+	return nil
+}
+
+// fetchRange asks the member for its declared score band.
+func (n *node) fetchRange(ctx context.Context) (rangeResp, error) {
+	var r rangeResp
+	err := n.get(ctx, "/v1/range", &r)
+	return r, err
+}
+
+// probe is the health check: the cheapest stateless read the member
+// serves. /v1/epoch exists on every backend (0 when the backend has no
+// topology), so a probe failure always means the PROCESS is in
+// trouble, never that the backend is the wrong flavor.
+func (n *node) probe(ctx context.Context) error {
+	var e epochResp
+	return n.get(ctx, "/v1/epoch", &e)
+}
+
+// topk runs one remote TopK. Bounds travel as URL query parameters, so
+// ±Inf survives (strconv round-trips "Inf", unlike JSON bodies) —
+// provided they are URL-escaped: a bare "+Inf" would decode as " Inf",
+// '+' being the form encoding of space.
+func (n *node) topk(ctx context.Context, x1, x2 float64, k int) ([]point.P, error) {
+	q := url.Values{}
+	q.Set("x1", fmtFloat(x1))
+	q.Set("x2", fmtFloat(x2))
+	q.Set("k", strconv.Itoa(k))
+	var r topkResp
+	if err := n.get(ctx, "/v1/topk?"+q.Encode(), &r); err != nil {
+		return nil, err
+	}
+	return toPoints(r.Results), nil
+}
+
+// count runs one remote Count.
+func (n *node) count(ctx context.Context, x1, x2 float64) (int, error) {
+	q := url.Values{}
+	q.Set("x1", fmtFloat(x1))
+	q.Set("x2", fmtFloat(x2))
+	var r countResp
+	if err := n.get(ctx, "/v1/count?"+q.Encode(), &r); err != nil {
+		return 0, err
+	}
+	return r.Count, nil
+}
+
+// batch runs one remote /v1/batch, returning the per-op items aligned
+// with ops.
+func (n *node) batch(ctx context.Context, ops []wireOp) ([]wireItem, error) {
+	var r batchResp
+	if err := n.post(ctx, "/v1/batch", batchReq{Ops: ops}, &r); err != nil {
+		return nil, err
+	}
+	if len(r.Results) != len(ops) {
+		return nil, fmt.Errorf("%s: %w: batch returned %d items for %d ops", n.addr, ErrNodeDown, len(r.Results), len(ops))
+	}
+	return r.Results, nil
+}
+
+// stats fetches the member's meter snapshot.
+func (n *node) stats(ctx context.Context) (statsResp, error) {
+	var r statsResp
+	err := n.get(ctx, "/v1/stats", &r)
+	return r, err
+}
+
+// resetStats and dropCache are the administrative fan-out legs.
+func (n *node) resetStats(ctx context.Context) error {
+	return n.post(ctx, "/v1/stats/reset", nil, nil)
+}
+
+func (n *node) dropCache(ctx context.Context) error {
+	return n.post(ctx, "/v1/cache/drop", nil, nil)
+}
+
+// fmtFloat renders a float64 for a URL query parameter with exact
+// round-trip precision.
+func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -157,6 +157,24 @@ func (d *Disk) Frames() int { return d.frames }
 // Stats returns a snapshot of the I/O meter.
 func (d *Disk) Stats() Stats { return d.stats }
 
+// Resize re-derives the buffer pool for a new memory budget of m
+// words, applying the same floor as NewDisk (M ≥ 2B, footnote 2 of
+// the paper). Shrinking evicts LRU victims until residency fits the
+// new frame count, charging write I/Os for dirty evictions exactly as
+// any other eviction would — the model's cost of giving memory back.
+// The shard maintenance loop uses it to reclaim pools left
+// over-provisioned by fleet growth between rebuilds.
+func (d *Disk) Resize(m int) {
+	if m < 2*d.cfg.B {
+		m = 2 * d.cfg.B
+	}
+	d.cfg.M = m
+	d.frames = m / d.cfg.B
+	for d.used > d.frames && d.lru.Len() > 0 {
+		d.evictOne()
+	}
+}
+
 // ResetMeter zeroes the read/write/alloc/free counters, keeping space
 // gauges. Used by benches to separate build cost from query cost.
 func (d *Disk) ResetMeter() {

@@ -1,0 +1,118 @@
+// Package merge holds the scatter-gather primitives shared by every
+// fan-out layer of the serving stack: the k-way heap-merge that
+// combines per-partition descending-score answers into the global top
+// k, and the parallel runner that executes per-partition work with
+// panic propagation.
+//
+// Two layers use it. internal/shard fans a query out to the local
+// range-partitioned shards and merges their answers; internal/cluster
+// fans the same query out to remote topkd member nodes over HTTP and
+// merges THEIR answers. Both merges are byte-identical to what a
+// single sequential Index would report, because scores are distinct by
+// the paper's standing assumption, so the merged descending order is
+// unique — factoring the code here keeps the two layers provably
+// identical instead of coincidentally similar.
+package merge
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/heap"
+	"repro/internal/point"
+)
+
+// listSource adapts a descending-score point list to heap.Source: a
+// sorted list is a unary max-heap chain (entry i's only child is
+// entry i+1), so heap.Forest + heap.SelectTop perform a k-way merge
+// that pops the global maximum at every step. Refs are list indices;
+// no I/O is charged (the lists are query results already in memory).
+type listSource []point.P
+
+func (l listSource) Roots() []heap.Entry {
+	if len(l) == 0 {
+		return nil
+	}
+	return []heap.Entry{{Ref: 0, Key: l[0].Score}}
+}
+
+func (l listSource) Children(ref int64) []heap.Entry {
+	next := ref + 1
+	if next >= int64(len(l)) {
+		return nil
+	}
+	return []heap.Entry{{Ref: next, Key: l[next].Score}}
+}
+
+// TopK k-way merges per-partition descending-score lists into the
+// global top k, preserving exact order (scores are distinct). k is
+// clamped to the merged length first, so an absurd client-supplied k
+// cannot drive the output allocation.
+func TopK(lists [][]point.P, k int) []point.P {
+	nonEmpty := lists[:0]
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			nonEmpty = append(nonEmpty, l)
+			total += len(l)
+		}
+	}
+	if k > total {
+		k = total
+	}
+	switch len(nonEmpty) {
+	case 0:
+		return nil
+	case 1:
+		if k < len(nonEmpty[0]) {
+			return nonEmpty[0][:k]
+		}
+		return nonEmpty[0]
+	}
+	f := &heap.Forest{Sources: make([]heap.Source, len(nonEmpty))}
+	for i, l := range nonEmpty {
+		f.Sources[i] = listSource(l)
+	}
+	out := make([]point.P, 0, k)
+	for _, e := range heap.SelectTop(f, k) {
+		src, ref := heap.SplitRef(e.Ref)
+		out = append(out, nonEmpty[src][ref])
+	}
+	return out
+}
+
+// panicBox carries a recovered panic value across goroutines with a
+// single concrete type, as atomic.Value requires.
+type panicBox struct{ v any }
+
+// Parallel runs each fn in its own goroutine and waits for all.
+// A panic inside a worker (an internal invariant violation — contract
+// violations on caller input are rejected with errors before reaching
+// here) is captured and re-raised on the caller's goroutine after
+// every worker finishes — an unrecovered goroutine panic would kill
+// the whole process, and locks held by workers are released by the
+// workers' own defers.
+func Parallel(fns []func()) {
+	if len(fns) == 1 {
+		fns[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	var pv atomic.Value
+	for _, f := range fns {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					pv.CompareAndSwap(nil, &panicBox{v})
+				}
+			}()
+			f()
+		}(f)
+	}
+	wg.Wait()
+	if b := pv.Load(); b != nil {
+		panic(b.(*panicBox).v)
+	}
+}

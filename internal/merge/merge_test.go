@@ -1,0 +1,54 @@
+package merge
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/point"
+)
+
+// TestTopKMatchesReference checks the heap merge against the
+// brute-force reference over randomized partitions: split a point set
+// into contiguous score bands (how the cluster tier partitions) and
+// position bands (how the shard tier partitions), merge, and compare.
+func TestTopKMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := make([]point.P, n)
+		for i := range pts {
+			// Distinct scores by construction.
+			pts[i] = point.P{X: rng.Float64() * 1000, Score: float64(i) + rng.Float64()/2}
+		}
+		rng.Shuffle(n, func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+		parts := 1 + rng.Intn(6)
+		lists := make([][]point.P, parts)
+		for i, p := range pts {
+			lists[i%parts] = append(lists[i%parts], p)
+		}
+		for i := range lists {
+			point.SortByScoreDesc(lists[i])
+		}
+		for _, k := range []int{0, 1, 3, n / 2, n, n + 10} {
+			got := TopK(lists, k)
+			want := point.TopK(pts, -1, 2000, k)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d parts=%d k=%d: merge mismatch\ngot  %v\nwant %v", trial, parts, k, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelPanic checks a worker panic is re-raised on the caller.
+func TestParallelPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic was not propagated")
+		}
+	}()
+	Parallel([]func(){func() {}, func() { panic("boom") }, func() {}})
+}

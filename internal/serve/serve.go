@@ -1,0 +1,553 @@
+// Package serve is the HTTP/JSON face of the serving stack, factored
+// out of cmd/topkd so every process shape can mount it: topkd serving
+// a local Store, topkd in -gateway mode serving a topk.Cluster, the
+// in-process member fleets topkbench -exp e18 and the cluster tests
+// boot over httptest.
+//
+// Handlers are written purely against the topk.Store interface, so the
+// backend is the caller's choice; backend-specific introspection
+// (shard counts, lifecycle counters, topology epoch) is probed through
+// optional interfaces. The API is versioned under /v1 with the
+// unversioned paths of the first release kept as thin aliases; newer
+// endpoints (/v1/epoch, /v1/range, /v1/stats/reset, /v1/cache/drop)
+// exist under /v1 only.
+//
+// Errors are structured: {"error":{"code":"duplicate_position",
+// "message":"..."}} with the code derived from the topk sentinel
+// errors (duplicate_position and duplicate_score map to 409,
+// invalid_point and malformed requests to 400, out-of-band member
+// inserts to 400 out_of_range).
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	topk "repro"
+)
+
+// Options configures the handler tree beyond the Store itself.
+type Options struct {
+	// Lo and Hi, when not both zero, declare the score band this
+	// process owns as a cluster member: [Lo, Hi), with ±Inf open ends.
+	// The band is served under GET /v1/range for gateway discovery, and
+	// inserts whose score falls outside it are rejected with a
+	// structured 400 (code out_of_range) — a misrouted write must fail
+	// loudly rather than silently violate the cluster's partitioning.
+	// The zero value means "unbounded": no /v1/range band, no
+	// enforcement (the band (-Inf, +Inf) behaves identically).
+	Lo, Hi float64
+}
+
+// banded reports whether a member band was configured.
+func (o Options) banded() bool { return o.Lo != 0 || o.Hi != 0 }
+
+// inBand reports whether score falls inside the member band.
+func (o Options) inBand(score float64) bool {
+	if !o.banded() {
+		return true
+	}
+	return o.Lo <= score && score < o.Hi
+}
+
+// pointReq is the body of /v1/insert and /v1/delete.
+type pointReq struct {
+	X     float64 `json:"x"`
+	Score float64 `json:"score"`
+}
+
+// resultJSON mirrors topk.Result with lowercase keys.
+type resultJSON struct {
+	X     float64 `json:"x"`
+	Score float64 `json:"score"`
+}
+
+func toJSON(res []topk.Result) []resultJSON {
+	out := make([]resultJSON, len(res))
+	for i, p := range res {
+		out[i] = resultJSON{X: p.X, Score: p.Score}
+	}
+	return out
+}
+
+// batchOp is one element of a /v1/batch request: op is "insert",
+// "delete" (x, score) or "query" (x1, x2, k, optional offset).
+type batchOp struct {
+	Op     string  `json:"op"`
+	X      float64 `json:"x"`
+	Score  float64 `json:"score"`
+	X1     float64 `json:"x1"`
+	X2     float64 `json:"x2"`
+	K      int     `json:"k"`
+	Offset int     `json:"offset"`
+}
+
+// batchItem is one element of a /v1/batch response, aligned with the
+// request ops. Updates carry ok (+error when rejected); queries carry
+// their results.
+type batchItem struct {
+	OK      bool         `json:"ok"`
+	Error   *errJSON     `json:"error,omitempty"`
+	Results []resultJSON `json:"results,omitempty"`
+}
+
+// New returns the handler tree over st. Handlers use only the
+// topk.Store interface; Sharded- or Cluster-specific introspection is
+// probed through optional interfaces.
+func New(st topk.Store, opt Options) http.Handler {
+	mux := http.NewServeMux()
+
+	// handle registers h under /v1/pattern and, as a compatibility
+	// alias, under the unversioned path of the first release.
+	handle := func(method, pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+pattern, h)
+		mux.HandleFunc(method+" "+pattern, h)
+	}
+	// handleV1 registers h under /v1 only — endpoints newer than the
+	// unversioned legacy surface get no alias.
+	handleV1 := func(method, pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+pattern, h)
+	}
+
+	handle("POST", "/insert", func(w http.ResponseWriter, r *http.Request) {
+		var req pointReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
+			return
+		}
+		if !opt.inBand(req.Score) {
+			httpError(w, http.StatusBadRequest, "out_of_range",
+				"score %v outside this member's band [%v, %v)", req.Score, opt.Lo, opt.Hi)
+			return
+		}
+		// Insert is atomic check-and-insert under the shard lock, so
+		// concurrent duplicates race to one 200 and one 409 — and a
+		// duplicate score anywhere in the fleet is a 409 too.
+		if err := st.Insert(req.X, req.Score); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{"ok": true, "n": st.Len()})
+	})
+
+	handle("POST", "/delete", func(w http.ResponseWriter, r *http.Request) {
+		var req pointReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
+			return
+		}
+		found := st.Delete(req.X, req.Score)
+		writeJSON(w, map[string]any{"found": found, "n": st.Len()})
+	})
+
+	handle("POST", "/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Ops []batchOp `json:"ops"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
+			return
+		}
+		items, err := runBatch(st, opt, req.Ops)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "%v", err)
+			return
+		}
+		writeJSON(w, map[string]any{"results": items, "n": st.Len()})
+	})
+
+	handle("GET", "/topk", func(w http.ResponseWriter, r *http.Request) {
+		x1, err1 := queryFloat(r, "x1")
+		x2, err2 := queryFloat(r, "x2")
+		k, err3 := queryInt(r, "k")
+		if err1 != nil || err2 != nil || err3 != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "need float x1, x2 and int k")
+			return
+		}
+		// Pagination for large k: ?offset=N skips the N highest-scoring
+		// qualifying points, so a client can walk a huge answer in
+		// pages of k without the server ever allocating beyond the live
+		// size (the clamp below caps offset+k at n first).
+		off := 0
+		if s := r.URL.Query().Get("offset"); s != "" {
+			var err error
+			if off, err = strconv.Atoi(s); err != nil || off < 0 {
+				httpError(w, http.StatusBadRequest, "bad_request", "offset must be a non-negative int")
+				return
+			}
+		}
+		res := st.TopK(x1, x2, ClampPage(st, off, k))
+		if off < len(res) {
+			res = res[off:]
+		} else {
+			res = nil
+		}
+		writeJSON(w, map[string]any{"results": toJSON(res), "offset": off})
+	})
+
+	handle("GET", "/count", func(w http.ResponseWriter, r *http.Request) {
+		x1, err1 := queryFloat(r, "x1")
+		x2, err2 := queryFloat(r, "x2")
+		if err1 != nil || err2 != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "need float x1 and x2")
+			return
+		}
+		writeJSON(w, map[string]any{"count": st.Count(x1, x2)})
+	})
+
+	// The topology epoch as a cheap change signal: gateways and caches
+	// poll it (or a Sharded owner watches WatchEpoch in-process) to
+	// detect member topology changes without paying for /v1/stats. The
+	// cluster health checker also uses it as its liveness probe.
+	// Backends without an epoch (a single Index) report 0 — the
+	// endpoint stays probeable on every backend.
+	handleV1("GET", "/epoch", func(w http.ResponseWriter, r *http.Request) {
+		var e int64
+		if ep, ok := st.(interface{ Epoch() int64 }); ok {
+			e = ep.Epoch()
+		}
+		writeJSON(w, map[string]any{"epoch": e})
+	})
+
+	// The member's score band, for gateway discovery. Open ends are
+	// null (JSON cannot carry ±Inf); an unbanded process reports both
+	// ends open.
+	handleV1("GET", "/range", func(w http.ResponseWriter, r *http.Request) {
+		var lo, hi *float64
+		if opt.banded() {
+			if !math.IsInf(opt.Lo, -1) {
+				lo = &opt.Lo
+			}
+			if !math.IsInf(opt.Hi, 1) {
+				hi = &opt.Hi
+			}
+		}
+		writeJSON(w, map[string]any{"lo": lo, "hi": hi, "n": st.Len()})
+	})
+
+	// Administrative twins of Store.ResetStats/DropCache, so remote
+	// operators (and the Cluster client, which must implement the full
+	// Store contract over the wire) can reach them.
+	handleV1("POST", "/stats/reset", func(w http.ResponseWriter, r *http.Request) {
+		st.ResetStats()
+		writeJSON(w, map[string]any{"ok": true})
+	})
+	handleV1("POST", "/cache/drop", func(w http.ResponseWriter, r *http.Request) {
+		st.DropCache()
+		writeJSON(w, map[string]any{"ok": true})
+	})
+
+	// Prometheus text-format metrics, the machine-scrapable twin of the
+	// JSON /v1/stats. On the sharded backend everything here is served
+	// from the topology snapshot, atomic counters and brief per-shard
+	// meter reads — a scrape never takes the topology lock, so it
+	// cannot stall lifecycle or update writers (on -backend single the
+	// store mutex still serializes the scrape with traffic, like every
+	// other request there). On a gateway the same handler reports the
+	// cluster-aggregated meters summed across members.
+	handle("GET", "/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := st.Stats()
+		var b strings.Builder
+		metric := func(name, typ, help string, v int64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, typ, name, v)
+		}
+		metric("topkd_points_live", "gauge", "Number of live points.", int64(st.Len()))
+		metric("topkd_io_reads_total", "counter", "Block reads charged by the simulated EM disks (retired disks included).", s.Reads)
+		metric("topkd_io_writes_total", "counter", "Block writes charged by the simulated EM disks (retired disks included).", s.Writes)
+		metric("topkd_blocks_live", "gauge", "Disk blocks currently occupied fleet-wide.", s.BlocksLive)
+		metric("topkd_blocks_peak", "gauge", "High-water mark of the fleet-wide live-block total.", s.BlocksPeak)
+		if sh, ok := st.(interface{ NumShards() int }); ok {
+			metric("topkd_shards", "gauge", "Current shard count.", int64(sh.NumShards()))
+		}
+		if lc, ok := st.(interface {
+			Splits() int64
+			Merges() int64
+		}); ok {
+			metric("topkd_shard_splits_total", "counter", "Automatic shard splits since startup.", lc.Splits())
+			metric("topkd_shard_merges_total", "counter", "Automatic shard merges since startup.", lc.Merges())
+		}
+		if ep, ok := st.(interface{ Epoch() int64 }); ok {
+			// A gauge, not a counter: it tracks the snapshot version,
+			// which also advances on stats resets, not only on
+			// split/merge/rebalance lifecycle events.
+			metric("topkd_topology_epoch", "gauge", "Topology snapshot version; increments on every snapshot publish (splits, merges, rebalances, stats resets).", ep.Epoch())
+		}
+		if cl, ok := st.(interface {
+			Nodes() int
+			Ejected() int
+		}); ok {
+			metric("topkd_cluster_nodes", "gauge", "Member nodes configured in the cluster.", int64(cl.Nodes()))
+			metric("topkd_cluster_nodes_ejected", "gauge", "Member nodes currently ejected by the health checker.", int64(cl.Ejected()))
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+
+	handle("GET", "/stats", func(w http.ResponseWriter, r *http.Request) {
+		s := st.Stats()
+		out := map[string]any{
+			"n":           st.Len(),
+			"reads":       s.Reads,
+			"writes":      s.Writes,
+			"blocks_live": s.BlocksLive,
+			"blocks_peak": s.BlocksPeak,
+		}
+		if sh, ok := st.(interface{ NumShards() int }); ok {
+			out["shards"] = sh.NumShards()
+		}
+		// Shard-lifecycle counters: how many automatic splits and
+		// delete-triggered merges the router has performed.
+		if lc, ok := st.(interface {
+			Splits() int64
+			Merges() int64
+		}); ok {
+			out["splits"] = lc.Splits()
+			out["merges"] = lc.Merges()
+		}
+		// Cluster introspection: node counts on a gateway.
+		if cl, ok := st.(interface {
+			Nodes() int
+			Ejected() int
+		}); ok {
+			out["nodes"] = cl.Nodes()
+			out["ejected"] = cl.Ejected()
+		}
+		writeJSON(w, out)
+	})
+
+	return WithRecover(mux)
+}
+
+// runBatch executes a mixed /v1/batch payload: the update ops run
+// first as one ApplyBatch, then the query ops as one QueryBatch, and
+// the per-op outcomes are stitched back into request order. Queries
+// therefore observe every update of their own batch (on Sharded, the
+// documented caveat applies within the update half: an insert reusing
+// a score deleted on another shard in the same batch may lose the
+// race and be rejected).
+//
+// Query ops paginate exactly like GET /v1/topk: offset skips the
+// offset highest-scoring qualifying points, the fetch is clamped to
+// min(n, offset+k), and a negative offset is a structured 400 for the
+// whole batch (like an unknown op — the request itself is malformed).
+func runBatch(st topk.Store, opt Options, ops []batchOp) ([]batchItem, error) {
+	updates := make([]topk.BatchOp, 0, len(ops))
+	updateAt := make([]int, 0, len(ops))
+	queries := make([]topk.Query, 0)
+	queryAt := make([]int, 0)
+	queryOff := make([]int, 0)
+	bandErr := make(map[int]*errJSON)
+	for i, op := range ops {
+		switch op.Op {
+		case "insert":
+			if !opt.inBand(op.Score) {
+				bandErr[i] = &errJSON{Code: "out_of_range",
+					Message: fmt.Sprintf("score %v outside this member's band [%v, %v)", op.Score, opt.Lo, opt.Hi)}
+				continue
+			}
+			updates = append(updates, topk.BatchOp{X: op.X, Score: op.Score})
+			updateAt = append(updateAt, i)
+		case "delete":
+			updates = append(updates, topk.BatchOp{Delete: true, X: op.X, Score: op.Score})
+			updateAt = append(updateAt, i)
+		case "query":
+			if op.Offset < 0 {
+				return nil, fmt.Errorf("op %d: offset must be a non-negative int", i)
+			}
+			queries = append(queries, topk.Query{X1: op.X1, X2: op.X2, K: op.K})
+			queryAt = append(queryAt, i)
+			queryOff = append(queryOff, op.Offset)
+		default:
+			return nil, fmt.Errorf("op %d: unknown op %q (want insert, delete or query)", i, op.Op)
+		}
+	}
+	items := make([]batchItem, len(ops))
+	for i, e := range bandErr {
+		items[i] = batchItem{Error: e}
+	}
+	for j, err := range st.ApplyBatch(updates) {
+		if err != nil {
+			items[updateAt[j]] = batchItem{Error: toErrJSON(err)}
+		} else {
+			items[updateAt[j]] = batchItem{OK: true}
+		}
+	}
+	// Clamp only now: the batch's own inserts may have grown the live
+	// set the queries are about to observe. The fetch covers the
+	// skipped offset prefix plus the page, capped at the live size.
+	for j := range queries {
+		queries[j].K = ClampPage(st, queryOff[j], queries[j].K)
+	}
+	for j, res := range st.QueryBatch(queries) {
+		if off := queryOff[j]; off < len(res) {
+			res = res[off:]
+		} else {
+			res = nil
+		}
+		items[queryAt[j]] = batchItem{OK: true, Results: toJSON(res)}
+	}
+	return items, nil
+}
+
+// ClampK caps a client k at the live size: k > n returns everything
+// anyway, and the selection paths preallocate k-sized buffers, so an
+// absurd client k must not size an allocation.
+func ClampK(st topk.Store, k int) int {
+	if n := st.Len(); k > n {
+		return n
+	}
+	return k
+}
+
+// ClampPage sizes the fetch for a paginated read: the offset points
+// plus the page of k, capped at the live size. A page that is empty by
+// construction — k ≤ 0, or the offset at/past the live size — fetches
+// nothing at all, so a cheap request can never force a full
+// materialization it then discards. The comparison form avoids
+// overflow when a client sends offset and k both near MaxInt.
+func ClampPage(st topk.Store, off, k int) int {
+	n := st.Len()
+	if k <= 0 || off >= n {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	if off > n-k {
+		return n
+	}
+	return off + k
+}
+
+// WithRecover turns handler panics into JSON 500s. Contract
+// violations return errors in API v1, so a panic here is an internal
+// invariant failure — the router releases its locks on panic
+// (internal/shard unlocks with defer), so one poisoned request cannot
+// wedge the fleet; without this middleware net/http would just sever
+// the connection.
+func WithRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				log.Printf("topkd: %s %s panicked: %v", r.Method, r.URL.Path, v)
+				httpError(w, http.StatusInternalServerError, "internal", "internal error: %v", v)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func queryFloat(r *http.Request, key string) (float64, error) {
+	return strconv.ParseFloat(r.URL.Query().Get(key), 64)
+}
+
+func queryInt(r *http.Request, key string) (int, error) {
+	return strconv.Atoi(r.URL.Query().Get(key))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("topkd: encode: %v", err)
+	}
+}
+
+// errJSON is the structured error body: {"error":{"code":..,"message":..}}.
+type errJSON struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errCode maps a topk sentinel error to an HTTP status and a stable
+// machine-readable code.
+func errCode(err error) (int, string) {
+	switch {
+	case errors.Is(err, topk.ErrDuplicatePosition):
+		return http.StatusConflict, "duplicate_position"
+	case errors.Is(err, topk.ErrDuplicateScore):
+		return http.StatusConflict, "duplicate_score"
+	case errors.Is(err, topk.ErrInvalidPoint):
+		return http.StatusBadRequest, "invalid_point"
+	case errors.Is(err, topk.ErrNotFound):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, topk.ErrNodeDown):
+		// A gateway whose member fleet cannot take the write reports
+		// the outage instead of masking it as an internal error.
+		return http.StatusServiceUnavailable, "node_down"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func toErrJSON(err error) *errJSON {
+	_, code := errCode(err)
+	return &errJSON{Code: code, Message: err.Error()}
+}
+
+// writeErr renders a store error with its mapped status and code.
+func writeErr(w http.ResponseWriter, err error) {
+	status, code := errCode(err)
+	httpError(w, status, code, "%v", err)
+}
+
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error": errJSON{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// LockedIndex serializes a sequential *topk.Index behind the Store
+// interface with one mutex. It exists so topkd -backend single can
+// answer concurrent HTTP traffic correctly (if slowly) — the measured
+// argument for the sharded backend — and so tests and benches can
+// mount an Index anywhere a concurrent Store is required.
+func LockedIndex(idx *topk.Index) topk.Store { return &lockedStore{idx: idx} }
+
+type lockedStore struct {
+	mu  sync.Mutex
+	idx *topk.Index
+}
+
+func (l *lockedStore) Len() int { l.mu.Lock(); defer l.mu.Unlock(); return l.idx.Len() }
+func (l *lockedStore) Insert(pos, score float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.Insert(pos, score)
+}
+func (l *lockedStore) Delete(pos, score float64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.Delete(pos, score)
+}
+func (l *lockedStore) ApplyBatch(ops []topk.BatchOp) []error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.ApplyBatch(ops)
+}
+func (l *lockedStore) TopK(x1, x2 float64, k int) []topk.Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.TopK(x1, x2, k)
+}
+func (l *lockedStore) QueryBatch(qs []topk.Query) [][]topk.Result {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.QueryBatch(qs)
+}
+func (l *lockedStore) Count(x1, x2 float64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.Count(x1, x2)
+}
+func (l *lockedStore) Stats() topk.Stats { l.mu.Lock(); defer l.mu.Unlock(); return l.idx.Stats() }
+func (l *lockedStore) ResetStats()       { l.mu.Lock(); defer l.mu.Unlock(); l.idx.ResetStats() }
+func (l *lockedStore) DropCache()        { l.mu.Lock(); defer l.mu.Unlock(); l.idx.DropCache() }

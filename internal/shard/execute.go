@@ -1,116 +1,33 @@
 package shard
 
 // This file is the EXECUTION layer of the router: the parallel fan-out
-// and k-way heap-merge machinery that answers reads over one pinned
-// topology snapshot. Nothing here touches the topology lock — a read
-// pins the snapshot with one atomic load and then deals only in
-// per-shard mutexes (each shard is a sequential EM machine whose
-// buffer-pool LRU state even queries mutate; DESIGN.md Substitution 1).
+// machinery that answers reads over one pinned topology snapshot.
+// Nothing here touches the topology lock — a read pins the snapshot
+// with one atomic load and then deals only in per-shard mutexes (each
+// shard is a sequential EM machine whose buffer-pool LRU state even
+// queries mutate; DESIGN.md Substitution 1).
+//
+// The k-way heap-merge that combines per-shard answers lives in
+// internal/merge, shared with the network cluster tier
+// (internal/cluster) so both layers combine partial answers with the
+// same provably-exact code.
 
 import (
 	"math"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/heap"
+	"repro/internal/merge"
 	"repro/internal/point"
 )
 
-// panicBox carries a recovered panic value across goroutines with a
-// single concrete type, as atomic.Value requires.
-type panicBox struct{ v any }
-
-// runParallel runs each fn in its own goroutine and waits for all.
-// A panic inside a worker (an internal invariant violation — contract
-// violations on caller input are rejected with errors before reaching
-// here) is captured and re-raised on the caller's goroutine after
-// every worker finishes — an unrecovered goroutine panic would kill
-// the whole process, and shard locks are released by the workers' own
-// defers.
-func runParallel(fns []func()) {
-	if len(fns) == 1 {
-		fns[0]()
-		return
-	}
-	var wg sync.WaitGroup
-	var pv atomic.Value
-	for _, f := range fns {
-		wg.Add(1)
-		go func(f func()) {
-			defer wg.Done()
-			defer func() {
-				if v := recover(); v != nil {
-					pv.CompareAndSwap(nil, &panicBox{v})
-				}
-			}()
-			f()
-		}(f)
-	}
-	wg.Wait()
-	if b := pv.Load(); b != nil {
-		panic(b.(*panicBox).v)
-	}
-}
-
-// listSource adapts a descending-score point list to heap.Source: a
-// sorted list is a unary max-heap chain (entry i's only child is
-// entry i+1), so heap.Forest + heap.SelectTop perform a k-way merge
-// that pops the global maximum at every step. Refs are list indices;
-// no I/O is charged (the lists are query results already in memory).
-type listSource []point.P
-
-func (l listSource) Roots() []heap.Entry {
-	if len(l) == 0 {
-		return nil
-	}
-	return []heap.Entry{{Ref: 0, Key: l[0].Score}}
-}
-
-func (l listSource) Children(ref int64) []heap.Entry {
-	next := ref + 1
-	if next >= int64(len(l)) {
-		return nil
-	}
-	return []heap.Entry{{Ref: next, Key: l[next].Score}}
-}
+// runParallel runs each fn in its own goroutine and waits for all,
+// re-raising worker panics on the caller's goroutine (merge.Parallel).
+func runParallel(fns []func()) { merge.Parallel(fns) }
 
 // mergeTopK k-way merges per-shard descending-score lists into the
-// global top k, preserving exact order (scores are distinct). k is
-// clamped to the merged length first, so an absurd client-supplied k
-// cannot drive the output allocation.
-func mergeTopK(lists [][]point.P, k int) []point.P {
-	nonEmpty := lists[:0]
-	total := 0
-	for _, l := range lists {
-		if len(l) > 0 {
-			nonEmpty = append(nonEmpty, l)
-			total += len(l)
-		}
-	}
-	if k > total {
-		k = total
-	}
-	switch len(nonEmpty) {
-	case 0:
-		return nil
-	case 1:
-		if k < len(nonEmpty[0]) {
-			return nonEmpty[0][:k]
-		}
-		return nonEmpty[0]
-	}
-	f := &heap.Forest{Sources: make([]heap.Source, len(nonEmpty))}
-	for i, l := range nonEmpty {
-		f.Sources[i] = listSource(l)
-	}
-	out := make([]point.P, 0, k)
-	for _, e := range heap.SelectTop(f, k) {
-		src, ref := heap.SplitRef(e.Ref)
-		out = append(out, nonEmpty[src][ref])
-	}
-	return out
-}
+// global top k, preserving exact order (merge.TopK; scores are
+// distinct, so the merged order is unique).
+func mergeTopK(lists [][]point.P, k int) []point.P { return merge.TopK(lists, k) }
 
 // fanOut runs per once for every shard of the pinned snapshot
 // overlapping [x1, x2], taking each shard's mutex around its call.

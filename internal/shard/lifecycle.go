@@ -317,15 +317,80 @@ func (r *Router) defaultFloor() int {
 	return f
 }
 
+// poolShrinkUtil is the fleet budget utilization below which the
+// maintenance pass reclaims over-provisioned buffer pools: when the
+// fleet's resident working set occupies less than half of the total
+// pool frames it has allocated, pools above the re-derived fair split
+// are shrunk back to it.
+const poolShrinkUtil = 0.5
+
+// shrinkPools reclaims over-provisioned per-shard buffer pools
+// between rebuilds. Pool sizes are normally re-derived only when a
+// shard is (re)built — diskFor divides the fleet budget by the fleet
+// size AT BUILD TIME — so a shard built when the fleet was small keeps
+// its large pool while splits grow the fleet around it, pushing the
+// fleet total past the O(M) budget. The inverse drift is the working
+// set: after heavy deletes the data left in those pools is a fraction
+// of their frames.
+//
+// Each pass re-derives the fair per-shard split of the fleet budget
+// for the CURRENT shard count and measures fleet budget utilization —
+// resident-capable blocks (live blocks, capped at each pool's frame
+// count) as a fraction of total pool frames. Only when utilization has
+// dropped below poolShrinkUtil does it act, and then only by
+// SHRINKING: every pool larger than the fair split is resized down to
+// it (em applies the model's M ≥ 2B floor), evicting overflow with
+// write-back charged as usual. Pools below fair are never grown here —
+// growth happens at the next rebuild, as always — so a hot,
+// well-utilized fleet is never perturbed.
+func (r *Router) shrinkPools() {
+	// Updates also run under the read lock + shard mutexes, so resizing
+	// here cannot race a rebuild (write-locked) or serve path.
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t := r.snapshot()
+	fair := r.opt.diskFor(len(t.shards)).M
+	type poolView struct {
+		s *shard
+		m int
+	}
+	views := make([]poolView, 0, len(t.shards))
+	var capBlocks, occBlocks int64
+	for _, s := range t.shards {
+		s.mu.Lock()
+		m := s.d.M()
+		frames := int64(s.d.Frames())
+		live := s.d.Stats().BlocksLive
+		s.mu.Unlock()
+		if live > frames {
+			live = frames // a pool can never hold more than its frames
+		}
+		capBlocks += frames
+		occBlocks += live
+		views = append(views, poolView{s, m})
+	}
+	if capBlocks == 0 || float64(occBlocks) >= poolShrinkUtil*float64(capBlocks) {
+		return
+	}
+	for _, v := range views {
+		if v.m > fair {
+			v.s.mu.Lock()
+			v.s.d.Resize(fair)
+			v.s.mu.Unlock()
+		}
+	}
+}
+
 // Maintain runs one synchronous maintenance pass: refresh the
 // adaptive merge floor, coalesce underloaded shards, split overloaded
-// ones. It is exactly what the background loop runs every
-// MaintenanceInterval; exposing it lets operators and tests drive the
-// lifecycle deterministically.
+// ones, and reclaim over-provisioned buffer pools. It is exactly what
+// the background loop runs every MaintenanceInterval; exposing it lets
+// operators and tests drive the lifecycle deterministically.
 func (r *Router) Maintain() {
 	r.updateMergeFloor()
 	r.mergeUnderloaded()
 	r.splitOverloaded()
+	r.shrinkPools()
 }
 
 // startMaintenance launches the background maintenance goroutine when

@@ -280,6 +280,12 @@ type Router struct {
 	scoreMu sync.Mutex
 	scores  map[float64]struct{}
 
+	// subMu guards the WatchEpoch subscriber set (topology.go). It is a
+	// leaf lock: publish notifies subscribers while holding mu in write
+	// mode, and nothing is acquired under it.
+	subMu sync.Mutex
+	subs  map[chan uint64]struct{}
+
 	// Background maintenance loop state (lifecycle.go).
 	maintStop chan struct{}
 	maintDone chan struct{}

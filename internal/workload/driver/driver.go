@@ -57,6 +57,18 @@ func ApplyUpdates(st topk.Store, ups []workload.Update, batchSize int) []error {
 	return res
 }
 
+// RunTopK measures per-call read throughput: totalOps TopK calls drawn
+// round-robin from qs, issued from the given number of goroutines
+// (goroutines > 1 requires a concurrency-safe Store — Sharded or
+// Cluster). It is the per-call twin of RunBatched, so the two compare
+// directly; being Store-only, the same driver measures a local fleet
+// or a network gateway.
+func RunTopK(st topk.Store, goroutines, totalOps int, qs []workload.QuerySpec) workload.Throughput {
+	return workload.RunConcurrent(goroutines, totalOps, qs, func(q workload.QuerySpec) {
+		st.TopK(q.X1, q.X2, q.K)
+	})
+}
+
 // RunBatched measures batched read throughput: totalOps queries are
 // drawn round-robin from qs, issued as QueryBatch calls of batchSize
 // from the given number of goroutines (goroutines > 1 requires a

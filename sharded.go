@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/em"
@@ -207,8 +208,18 @@ func (s *Sharded) Close() error { return s.r.Close() }
 // Epoch returns the current topology epoch. It increments every time
 // a new topology snapshot is published (splits, merges, rebalances,
 // stats resets), so operators can watch lifecycle activity cheaply;
-// cmd/topkd exports it under /v1/metrics.
+// cmd/topkd exports it under /v1/metrics and GET /v1/epoch.
 func (s *Sharded) Epoch() int64 { return s.r.Epoch() }
+
+// WatchEpoch returns a channel that delivers the topology epoch: the
+// current value immediately, then the latest epoch after every
+// snapshot publish. Deliveries are coalesced — a slow receiver
+// observes the newest epoch rather than a backlog, and a subscriber
+// can never stall a lifecycle pass. The channel closes when ctx is
+// cancelled. It is the minimal change feed gateways and caching tiers
+// poll-free detect member topology changes with; cmd/topkd serves the
+// same number under GET /v1/epoch for remote watchers.
+func (s *Sharded) WatchEpoch(ctx context.Context) <-chan uint64 { return s.r.WatchEpoch(ctx) }
 
 // Splits returns the number of automatic shard splits since creation.
 func (s *Sharded) Splits() int64 { return s.r.Splits() }
