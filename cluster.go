@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/point"
 )
 
@@ -191,6 +192,70 @@ func (c *Cluster) Ejected() int { return c.c.Ejected() }
 // over to an alternate replica — the signal that a band is limping on
 // reduced redundancy.
 func (c *Cluster) ReadFailovers() int64 { return c.c.ReadFailovers() }
+
+// RPCDurations returns the per-member RPC latency histograms recorded
+// by this gateway's client, keyed by member address. The serving layer
+// probes this to export topkd_cluster_rpc_duration_seconds.
+func (c *Cluster) RPCDurations() *obs.Vec { return c.c.RPCDurations() }
+
+// WithContext returns a Store view of the cluster whose operations
+// carry ctx down to every member RPC — deadline, cancellation and any
+// obs trace propagate end-to-end. The Store interface itself has no
+// context parameters (the in-process backends have nothing to cancel),
+// so the serving layer probes for this method and binds each request's
+// context before dispatching. The view shares all state with c; only
+// the context differs.
+func (c *Cluster) WithContext(ctx context.Context) Store {
+	return boundCluster{outer: c, ctx: ctx}
+}
+
+// boundCluster is a Cluster view with a bound request context.
+type boundCluster struct {
+	outer *Cluster
+	ctx   context.Context
+}
+
+var _ Store = boundCluster{}
+
+func (b boundCluster) Len() int { return b.outer.Len() }
+func (b boundCluster) Insert(pos, score float64) error {
+	return b.outer.c.Insert(b.ctx, point.P{X: pos, Score: score})
+}
+func (b boundCluster) Delete(pos, score float64) bool {
+	return b.outer.c.Delete(b.ctx, point.P{X: pos, Score: score})
+}
+func (b boundCluster) ApplyBatch(ops []BatchOp) []error {
+	cops := make([]cluster.Op, len(ops))
+	for i, op := range ops {
+		cops[i] = cluster.Op{Delete: op.Delete, P: point.P{X: op.X, Score: op.Score}}
+	}
+	return b.outer.c.ApplyBatch(b.ctx, cops)
+}
+func (b boundCluster) TopK(x1, x2 float64, k int) []Result {
+	return toResults(b.outer.c.TopK(b.ctx, x1, x2, k))
+}
+func (b boundCluster) QueryBatch(qs []Query) [][]Result {
+	if len(qs) == 0 {
+		return nil
+	}
+	cqs := make([]cluster.Query, len(qs))
+	for i, q := range qs {
+		cqs[i] = cluster.Query{X1: q.X1, X2: q.X2, K: q.K}
+	}
+	lists := b.outer.c.QueryBatch(b.ctx, cqs)
+	out := make([][]Result, len(lists))
+	for i, l := range lists {
+		out[i] = toResults(l)
+	}
+	return out
+}
+func (b boundCluster) Count(x1, x2 float64) int { return b.outer.c.Count(b.ctx, x1, x2) }
+func (b boundCluster) Stats() Stats {
+	s := b.outer.c.Stats(b.ctx)
+	return Stats{Reads: s.Reads, Writes: s.Writes, BlocksLive: s.BlocksLive, BlocksPeak: s.BlocksPeak}
+}
+func (b boundCluster) ResetStats() { b.outer.c.ResetStats(b.ctx) }
+func (b boundCluster) DropCache()  { b.outer.c.DropCache(b.ctx) }
 
 // Close stops the background health prober, if one was started, and
 // releases pooled connections. Idempotent; the cluster keeps serving

@@ -1,0 +1,76 @@
+package main
+
+// Machine-readable benchmark output: -json makes every serving-layer
+// experiment (e15, e17, e18) also write a BENCH_<exp>.json with one row
+// per measured configuration — qps, ns/op and allocs/op — so CI can
+// archive the numbers per commit and the performance trajectory of the
+// repo is a diffable artifact instead of scrollback.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/workload"
+)
+
+// jsonOut mirrors the -json flag (main).
+var jsonOut bool
+
+// benchRow is one measured configuration of one experiment.
+type benchRow struct {
+	Name        string  `json:"name"`
+	Goroutines  int     `json:"goroutines"`
+	Ops         int     `json:"ops"`
+	QPS         float64 `json:"qps"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchRows accumulates rows per experiment id while it runs.
+var benchRows = map[string][]benchRow{}
+
+// benchRun runs one measurement and records it under exp. Allocations
+// are the process-wide Mallocs delta across the run divided by ops —
+// concurrent background allocation (GC, other goroutines) leaks in, so
+// treat allocs/op as a trend signal, not an exact count.
+func benchRun(exp, name string, f func() workload.Throughput) workload.Throughput {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res := f()
+	runtime.ReadMemStats(&m1)
+	ops := res.Ops
+	if ops < 1 {
+		ops = 1
+	}
+	benchRows[exp] = append(benchRows[exp], benchRow{
+		Name:        name,
+		Goroutines:  res.Goroutines,
+		Ops:         res.Ops,
+		QPS:         res.QPS(),
+		NsPerOp:     float64(res.Elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+	})
+	return res
+}
+
+// writeBench writes BENCH_<exp>.json into the working directory when
+// -json is set and the experiment recorded rows.
+func writeBench(exp string) {
+	rows := benchRows[exp]
+	if !jsonOut || len(rows) == 0 {
+		return
+	}
+	data, err := json.MarshalIndent(map[string]any{"experiment": exp, "rows": rows}, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench json %s: %v\n", exp, err)
+		os.Exit(1)
+	}
+	path := fmt.Sprintf("BENCH_%s.json", exp)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench json %s: %v\n", exp, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(rows))
+}

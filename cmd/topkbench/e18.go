@@ -77,8 +77,12 @@ func e18(quick bool) {
 	if err != nil {
 		panic(err)
 	}
-	lt := driver.RunTopK(local, 8, ops, queries)
-	lb := driver.RunBatched(local, 8, ops, 16, queries)
+	lt := benchRun("e18", "direct-local TopK", func() workload.Throughput {
+		return driver.RunTopK(local, 8, ops, queries)
+	})
+	lb := benchRun("e18", "direct-local QueryBatch/16", func() workload.Throughput {
+		return driver.RunBatched(local, 8, ops, 16, queries)
+	})
 	fmt.Printf("%16s %6s %14.0f %18.0f\n", "direct-local", "-", lt.QPS(), lb.QPS())
 
 	for _, nodes := range []int{1, 2, 4, 8} {
@@ -89,8 +93,12 @@ func e18(quick bool) {
 		if cl.Len() != n {
 			panic(fmt.Sprintf("gateway sees n=%d, want %d", cl.Len(), n))
 		}
-		gt := driver.RunTopK(cl, 8, ops, queries)
-		gb := driver.RunBatched(cl, 8, ops, 16, queries)
+		gt := benchRun("e18", fmt.Sprintf("gateway TopK nodes=%d", nodes), func() workload.Throughput {
+			return driver.RunTopK(cl, 8, ops, queries)
+		})
+		gb := benchRun("e18", fmt.Sprintf("gateway QueryBatch/16 nodes=%d", nodes), func() workload.Throughput {
+			return driver.RunBatched(cl, 8, ops, 16, queries)
+		})
 		fmt.Printf("%16s %6d %14.0f %18.0f\n", "gateway", nodes, gt.QPS(), gb.QPS())
 		_ = cl.Close()
 		for _, s := range servers {

@@ -7,12 +7,15 @@ import (
 	"sort"
 	"sync"
 
+	"time"
+
 	topk "repro"
 	"repro/internal/aurs"
 	"repro/internal/core"
 	"repro/internal/em"
 	"repro/internal/flgroup"
 	"repro/internal/heap"
+	"repro/internal/obs"
 	"repro/internal/point"
 	"repro/internal/pst"
 	"repro/internal/ram"
@@ -628,12 +631,17 @@ func e15(quick bool) {
 	queries := gen.Queries(256, 1e6, 0.0005, 0.02, 64)
 	fmt.Printf("%22s %6s %12s\n", "mode", "g", "qps")
 	for _, g := range []int{1, 4, 16} {
+		g := g
 		var st topk.Store = sharded
-		perCall := workload.RunConcurrent(g, ops, queries, func(q workload.QuerySpec) {
-			st.TopK(q.X1, q.X2, q.K)
+		perCall := benchRun("e15", fmt.Sprintf("sharded TopK g=%d", g), func() workload.Throughput {
+			return workload.RunConcurrent(g, ops, queries, func(q workload.QuerySpec) {
+				st.TopK(q.X1, q.X2, q.K)
+			})
 		})
 		fmt.Printf("%22s %6d %12.0f\n", "sharded TopK", g, perCall.QPS())
-		batched := driver.RunBatched(st, g, ops, 16, queries)
+		batched := benchRun("e15", fmt.Sprintf("sharded QueryBatch/16 g=%d", g), func() workload.Throughput {
+			return driver.RunBatched(st, g, ops, 16, queries)
+		})
 		fmt.Printf("%22s %6d %12.0f\n", "sharded QueryBatch/16", g, batched.QPS())
 	}
 	// The sequential backend as the single-machine baseline (one
@@ -642,8 +650,35 @@ func e15(quick bool) {
 	if err != nil {
 		panic(err)
 	}
-	res := driver.RunBatched(single, 1, ops, 16, queries)
+	res := benchRun("e15", "index QueryBatch/16 g=1", func() workload.Throughput {
+		return driver.RunBatched(single, 1, ops, 16, queries)
+	})
 	fmt.Printf("%22s %6d %12.0f\n", "index QueryBatch/16", 1, res.QPS())
+
+	// Instrumentation overhead: the same g=16 TopK run with the obs
+	// recording the serving middleware adds per request — one endpoint
+	// histogram observation plus one op-timer — versus bare Store calls.
+	// The histograms are striped atomics with no locks or allocation, so
+	// the budget is ≤5% of qps; the ratio below is the check.
+	tel := obs.New(obs.Options{})
+	var st topk.Store = sharded
+	g := 16
+	off := benchRun("e15", "obs-off TopK g=16", func() workload.Throughput {
+		return workload.RunConcurrent(g, ops, queries, func(q workload.QuerySpec) {
+			st.TopK(q.X1, q.X2, q.K)
+		})
+	})
+	on := benchRun("e15", "obs-on TopK g=16", func() workload.Throughput {
+		return workload.RunConcurrent(g, ops, queries, func(q workload.QuerySpec) {
+			done := tel.TimeOp("topk")
+			st.TopK(q.X1, q.X2, q.K)
+			done()
+			tel.HTTP.Observe("topk", time.Microsecond)
+		})
+	})
+	overhead := 100 * (off.QPS() - on.QPS()) / off.QPS()
+	fmt.Printf("obs overhead at g=16: off %.0f qps, on %.0f qps (%.1f%% — budget 5%%)\n",
+		off.QPS(), on.QPS(), overhead)
 }
 
 // ---------------------------------------------------------------- E16
@@ -809,7 +844,9 @@ func e17(quick bool) {
 				}
 				st.TopK(q.X1, q.X2, q.K)
 			}
-			res := workload.RunConcurrent(8, readOps, queries, read)
+			res := benchRun("e17", fmt.Sprintf("%s w=%d", mode, writers), func() workload.Throughput {
+				return workload.RunConcurrent(8, readOps, queries, read)
+			})
 			close(stop)
 			wg.Wait()
 			// Epoch counts the topology snapshots the run published — the

@@ -47,9 +47,11 @@ var experiments = []experiment{
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (e1..e13); empty = all")
+	exp := flag.String("exp", "", "experiment id (e1..e18); empty = all")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	jsonFlag := flag.Bool("json", false, "also write BENCH_<exp>.json rows (qps, ns/op, allocs/op) for the serving-layer experiments")
 	flag.Parse()
+	jsonOut = *jsonFlag
 
 	any := false
 	for _, e := range experiments {
@@ -59,6 +61,7 @@ func main() {
 		any = true
 		fmt.Printf("==== %s: %s ====\n", strings.ToUpper(e.id), e.title)
 		e.run(*quick)
+		writeBench(e.id)
 		fmt.Println()
 	}
 	if !any {

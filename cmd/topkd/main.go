@@ -41,9 +41,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -52,6 +54,7 @@ import (
 	"time"
 
 	topk "repro"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -74,7 +77,22 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout of gateway->member calls")
 	healthEvery := flag.Duration("health-interval", 2*time.Second, "member health-probe interval in gateway mode")
 	drain := flag.Duration("drain", 10*time.Second, "in-flight request drain budget on SIGINT/SIGTERM")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of header-less requests to trace (requests carrying X-Topkd-Trace are always traced; 1 traces everything)")
+	slowQuery := flag.Duration("slow-query", 0, "log requests at least this slow at warn level (0 disables)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error (per-request logs are debug)")
 	flag.Parse()
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("topkd: -log-level: %v", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	tel := obs.New(obs.Options{
+		Logger:     logger,
+		SampleRate: *traceSample,
+		SlowQuery:  *slowQuery,
+	})
 
 	cfg := topk.ShardedConfig{
 		Config: topk.Config{
@@ -98,7 +116,6 @@ func main() {
 	}
 
 	var st topk.Store
-	var err error
 	if *gateway != "" {
 		st, err = topk.NewCluster(topk.ClusterConfig{
 			Members:        strings.Split(*gateway, ","),
@@ -128,8 +145,23 @@ func main() {
 	if *gateway != "" {
 		mode = fmt.Sprintf("gateway(%s)", *gateway)
 	}
-	log.Printf("topkd: serving %s backend (n=%d) on %s", mode, st.Len(), ln.Addr())
-	if err := serveLoop(ctx, &http.Server{Handler: serve.New(st, opts)}, ln, *drain); err != nil {
+	opts.Obs = tel
+	var h http.Handler = serve.New(st, opts)
+	if *pprofFlag {
+		h = withPprof(h)
+	}
+	logger.Info("serving",
+		slog.String("backend", mode),
+		slog.String("addr", ln.Addr().String()),
+		slog.Int("n", st.Len()),
+		slog.String("band", *rangeFlag),
+		slog.Int("shards", *shards),
+		slog.Duration("maintenance", *maintenance),
+		slog.Float64("trace_sample", *traceSample),
+		slog.Duration("slow_query", *slowQuery),
+		slog.Bool("pprof", *pprofFlag),
+	)
+	if err := serveLoop(ctx, &http.Server{Handler: h}, ln, *drain, tel, logger); err != nil {
 		log.Fatalf("topkd: %v", err)
 	}
 	// Stop background loops (sharded maintenance, cluster health
@@ -139,7 +171,37 @@ func main() {
 			log.Fatalf("topkd: close: %v", err)
 		}
 	}
-	log.Printf("topkd: drained, exiting")
+	logger.Info("exiting")
+}
+
+// parseLevel maps a -log-level flag value to its slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// withPprof mounts net/http/pprof beside the API handler tree. Gated
+// behind -pprof: the profile endpoints expose internals and can be
+// made to burn CPU, so they are opt-in.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 // parseRange parses a -range flag of the form "lo:hi" where either end
@@ -170,17 +232,31 @@ func parseRange(s string) (lo, hi float64, err error) {
 // cancelled (SIGINT/SIGTERM via signal.NotifyContext in main). On
 // cancellation it drains: Shutdown stops accepting, lets in-flight
 // requests — a /v1/batch mid-write included — complete within the
-// drain budget, and returns nil on a clean exit so topkd exits 0.
-func serveLoop(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+// drain budget, and returns nil on a clean exit so topkd exits 0. The
+// shutdown summary logs how long the drain took and how many requests
+// were in flight when it began (tel and logger may be nil in tests).
+func serveLoop(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, tel *obs.Telemetry, logger *slog.Logger) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
 		return err // Serve only returns on failure (ErrServerClosed needs Shutdown)
 	case <-ctx.Done():
+		var inFlight int64
+		if tel != nil {
+			inFlight = tel.InFlight()
+		}
+		start := time.Now()
 		sctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
-		return srv.Shutdown(sctx)
+		err := srv.Shutdown(sctx)
+		if logger != nil {
+			logger.Info("drained",
+				slog.Duration("drain", time.Since(start)),
+				slog.Int64("in_flight", inFlight),
+			)
+		}
+		return err
 	}
 }
 

@@ -484,7 +484,7 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	served := make(chan error, 1)
-	go func() { served <- serveLoop(ctx, &http.Server{Handler: h}, ln, 5*time.Second) }()
+	go func() { served <- serveLoop(ctx, &http.Server{Handler: h}, ln, 5*time.Second, nil, nil) }()
 
 	reqDone := make(chan error, 1)
 	go func() {

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/point"
 )
 
@@ -26,6 +27,9 @@ import (
 type node struct {
 	addr string // normalized base URL, e.g. http://host:port
 	hc   *http.Client
+	// rpc is the cluster-shared per-member latency vec; do records
+	// every request under this node's address.
+	rpc *obs.Vec
 
 	// Health state (health.go): consecutive failures and the ejection
 	// deadline, guarded by mu.
@@ -63,7 +67,25 @@ func (n *node) post(ctx context.Context, path string, body, out any) error {
 // ErrNodeDown (the member is unreachable or broken); structured non-2xx
 // envelopes map back to the library sentinels (the member answered and
 // rejected — not a node failure).
-func (n *node) do(req *http.Request, out any) error {
+//
+// Telemetry rides along here, on the one choke point every member
+// request passes through: the duration lands in the per-member latency
+// vec, and when the context carries a trace the ID is stamped on the
+// outgoing request (the member's middleware adopts it, so both ends
+// retain the same trace) with one child span per RPC hung off the
+// gateway's root.
+func (n *node) do(req *http.Request, out any) (err error) {
+	if tr := obs.FromContext(req.Context()); tr != nil {
+		req.Header.Set(obs.TraceHeader, tr.ID)
+	}
+	sp := obs.StartSpan(req.Context(), req.Method+" "+req.URL.Path, n.addr)
+	start := time.Now()
+	defer func() {
+		if n.rpc != nil {
+			n.rpc.Observe(n.addr, time.Since(start))
+		}
+		sp.End(err)
+	}()
 	resp, err := n.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("%s: %w: %v", n.addr, ErrNodeDown, err)

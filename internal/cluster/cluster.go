@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/merge"
+	"repro/internal/obs"
 	"repro/internal/point"
 )
 
@@ -115,6 +116,11 @@ type Cluster struct {
 	// failovers counts reads that succeeded on an alternate replica.
 	failovers atomic.Int64
 
+	// rpc records member RPC latency per member address; every node
+	// shares it. The serving layer exports it from a gateway's
+	// /v1/metrics as topkd_cluster_rpc_duration_seconds.
+	rpc *obs.Vec
+
 	// dupMu guards the gateway-side duplicate registries. Score
 	// routing makes member-local duplicate-score checks fleet-wide
 	// already; these sets exist to (a) reject duplicates the gateway
@@ -157,6 +163,7 @@ func New(cfg Config) (*Cluster, error) {
 		transport: transport,
 		positions: map[float64]struct{}{},
 		scores:    map[float64]struct{}{},
+		rpc:       obs.NewVec(),
 	}
 	seen := map[string]bool{}
 	for _, m := range cfg.Members {
@@ -171,7 +178,7 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: duplicate member %s", addr)
 		}
 		seen[addr] = true
-		c.nodes = append(c.nodes, &node{addr: addr, hc: hc})
+		c.nodes = append(c.nodes, &node{addr: addr, hc: hc, rpc: c.rpc})
 	}
 
 	// Discover each member's band, in parallel.
@@ -345,7 +352,10 @@ func (c *Cluster) TopK(ctx context.Context, x1, x2 float64, k int) []point.P {
 		}
 	}
 	parallel(fns)
-	return merge.TopK(lists, k)
+	sp := obs.StartSpan(ctx, "merge", "")
+	res := merge.TopK(lists, k)
+	sp.End(nil)
+	return res
 }
 
 // Query is one read of a QueryBatch.
@@ -400,9 +410,11 @@ func (c *Cluster) QueryBatch(ctx context.Context, qs []Query) [][]point.P {
 		}
 	}
 	parallel(fns)
+	sp := obs.StartSpan(ctx, "merge", "")
 	for _, qi := range valid {
 		out[qi] = merge.TopK(lists[qi], qs[qi].K)
 	}
+	sp.End(nil)
 	return out
 }
 
@@ -731,6 +743,10 @@ func (c *Cluster) adminFanOut(ctx context.Context, call func(*node, context.Cont
 	}
 	parallel(fns)
 }
+
+// RPCDurations returns the per-member RPC latency histograms — every
+// member request this client issued, keyed by member address.
+func (c *Cluster) RPCDurations() *obs.Vec { return c.rpc }
 
 // String summarizes the fleet layout.
 func (c *Cluster) String() string {

@@ -1,0 +1,220 @@
+// Package obs is the telemetry subsystem of the serving stack:
+// lock-cheap latency histograms, request tracing with cross-process
+// propagation, structured request logging, and Go runtime gauges —
+// threaded through every tier (Index → Sharded → Cluster) by
+// internal/serve's middleware and internal/cluster's RPC client.
+//
+// The design budget is the hot path: a histogram observation is one
+// cheap per-thread random draw, two atomic adds and one atomic
+// increment on a striped shard — no locks, no allocation — so the
+// serving layer can record every request and every member RPC without
+// moving the needle on the benchmarks it is measuring (e15 reports the
+// on-vs-off delta). Tracing allocates, so it is sampled: a request is
+// traced when it carries an X-Topkd-Trace header (propagated from an
+// upstream gateway) or when the local sample rate fires.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucketing: log-scaled, bounds[i] = 2^i microseconds for
+// i in [0, numBounds), so the buckets span 1µs to ~16.8s with one
+// bits.Len64 to find the bucket. Everything past the last bound lands
+// in the overflow (+Inf) bucket.
+const (
+	numBounds  = 25
+	numStripes = 8 // power of two; stripes spread hot-bucket contention
+)
+
+// bucketBound returns the upper bound of bucket i as a duration.
+func bucketBound(i int) time.Duration {
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
+
+// Bounds returns the bucket upper bounds in seconds, ascending, not
+// including the implicit +Inf bucket — the `le` label values of the
+// Prometheus export.
+func Bounds() []float64 {
+	out := make([]float64, numBounds)
+	for i := range out {
+		out[i] = bucketBound(i).Seconds()
+	}
+	return out
+}
+
+// stripe is one shard of a histogram. Each stripe spans several cache
+// lines already (26 counters); the trailing pad keeps the sum/count
+// words of adjacent stripes from sharing a line.
+type stripe struct {
+	counts [numBounds + 1]atomic.Uint64 // last = overflow (+Inf)
+	sum    atomic.Int64                 // nanoseconds
+	n      atomic.Uint64
+	_      [6]uint64
+}
+
+// Histogram is a lock-free, striped, log-scaled latency histogram.
+// Observe never locks and never allocates; Snapshot merges the stripes
+// into one cumulative view. The zero value is ready to use.
+type Histogram struct {
+	stripes [numStripes]stripe
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d / time.Microsecond)
+	idx := 0
+	if us > 0 {
+		// Smallest i with us ≤ 2^i.
+		idx = bits.Len64(us - 1)
+	}
+	if idx > numBounds {
+		idx = numBounds
+	}
+	// rand/v2's global generators draw from per-thread state, so the
+	// stripe choice is cheap and contention-free.
+	s := &h.stripes[rand.Uint32()&(numStripes-1)]
+	s.counts[idx].Add(1)
+	s.sum.Add(int64(d))
+	s.n.Add(1)
+}
+
+// Snapshot is a merged, cumulative view of a histogram: Counts[i] is
+// the number of observations ≤ the i-th bound, with the final entry
+// the +Inf bucket (== Count). Taken against concurrent writers the
+// buckets may disagree with Sum by in-flight observations; Count is
+// derived from the buckets so that the Prometheus invariant
+// (_count == +Inf bucket) always holds.
+type Snapshot struct {
+	Counts [numBounds + 1]uint64
+	Sum    time.Duration
+	Count  uint64
+}
+
+// Snapshot merges the stripes and cumulates the buckets.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		for b := range st.counts {
+			s.Counts[b] += st.counts[b].Load()
+		}
+		s.Sum += time.Duration(st.sum.Load())
+	}
+	for b := 1; b < len(s.Counts); b++ {
+		s.Counts[b] += s.Counts[b-1]
+	}
+	s.Count = s.Counts[len(s.Counts)-1]
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation inside the owning log-scaled bucket, so the estimate
+// is within one bucket width (a factor of 2) of the true value. Zero
+// observations estimate zero.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	prev := uint64(0)
+	for i, c := range s.Counts {
+		if c >= rank {
+			var lo time.Duration
+			hi := bucketBound(i)
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			if i == numBounds {
+				// Overflow bucket has no upper bound; report its lower
+				// edge — "at least this slow".
+				return bucketBound(numBounds - 1)
+			}
+			frac := float64(rank-prev) / float64(c-prev)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		prev = c
+	}
+	return bucketBound(numBounds - 1)
+}
+
+// Vec is a set of histograms keyed by one label value (endpoint, op,
+// member address). Labels are created lazily on first observation;
+// lookups take a read lock only.
+type Vec struct {
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// NewVec returns an empty histogram vector.
+func NewVec() *Vec { return &Vec{m: map[string]*Histogram{}} }
+
+// Observe records d under label, creating the histogram on first use.
+func (v *Vec) Observe(label string, d time.Duration) {
+	v.mu.RLock()
+	h := v.m[label]
+	v.mu.RUnlock()
+	if h == nil {
+		v.mu.Lock()
+		if h = v.m[label]; h == nil {
+			h = &Histogram{}
+			v.m[label] = h
+		}
+		v.mu.Unlock()
+	}
+	h.Observe(d)
+}
+
+// Get returns the histogram for label, or nil if nothing was observed
+// under it.
+func (v *Vec) Get(label string) *Histogram {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.m[label]
+}
+
+// Labels returns the observed label values, sorted — the deterministic
+// iteration order of the Prometheus export.
+func (v *Vec) Labels() []string {
+	v.mu.RLock()
+	out := make([]string, 0, len(v.m))
+	for l := range v.m {
+		out = append(out, l)
+	}
+	v.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Snapshots returns a merged snapshot per label.
+func (v *Vec) Snapshots() map[string]Snapshot {
+	v.mu.RLock()
+	hs := make(map[string]*Histogram, len(v.m))
+	for l, h := range v.m {
+		hs[l] = h
+	}
+	v.mu.RUnlock()
+	out := make(map[string]Snapshot, len(hs))
+	for l, h := range hs {
+		out[l] = h.Snapshot()
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package obs
+
+// Prometheus text-format (0.0.4) writers for the obs types: histogram
+// families with one label dimension, and the Go runtime gauges. The
+// serving layer appends these to the counter/gauge families it already
+// emits on /v1/metrics; every family carries # HELP and # TYPE lines
+// and histogram buckets are cumulative and end at le="+Inf" — the
+// serve-layer well-formedness test parses the whole page to prove it.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+)
+
+// fmtF renders a float for the text format with round-trip precision.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteHistogramVec emits one histogram family with a series per label
+// value in v. An empty vec emits the HELP/TYPE header only, so a
+// family's presence on the scrape page does not depend on traffic.
+func WriteHistogramVec(w io.Writer, name, help, label string, v *Vec) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	if v == nil {
+		return
+	}
+	bounds := Bounds()
+	for _, lv := range v.Labels() {
+		s := v.Get(lv).Snapshot()
+		for i, b := range bounds {
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, lv, fmtF(b), s.Counts[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, lv, s.Counts[numBounds])
+		fmt.Fprintf(w, "%s_sum{%s=%q} %s\n", name, label, lv, fmtF(s.Sum.Seconds()))
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, lv, s.Count)
+	}
+}
+
+// WriteRuntimeMetrics emits the Go runtime gauges: goroutines, heap
+// occupancy and GC activity. ReadMemStats stops the world briefly;
+// that is fine at scrape frequency.
+func WriteRuntimeMetrics(w io.Writer) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, fmtF(v))
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, fmtF(v))
+	}
+	gauge("topkd_go_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+	gauge("topkd_go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(m.HeapAlloc))
+	gauge("topkd_go_heap_objects", "Live heap objects.", float64(m.HeapObjects))
+	counter("topkd_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", float64(m.PauseTotalNs)/1e9)
+	counter("topkd_go_gc_cycles_total", "Completed GC cycles.", float64(m.NumGC))
+}

@@ -1,0 +1,227 @@
+package obs
+
+// Request tracing. A Trace is a bounded span tree rooted at the
+// serving-layer request; the cluster client hangs one child span per
+// member RPC (and one for the merge) off the root, so a gateway query
+// yields gateway → per-band member RPC → merge. The trace ID travels
+// in the X-Topkd-Trace header: the gateway's client stamps it on every
+// member request, the member's middleware adopts it, and both ends
+// keep their finished traces in a fixed-size ring served by
+// GET /v1/trace/{id}. Traces are sampled (tracing allocates; the
+// always-on histograms do not) — a request traces when it arrives with
+// the header or when the local sample rate fires.
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying the trace ID across
+// processes, request and response.
+const TraceHeader = "X-Topkd-Trace"
+
+// maxTraceID bounds accepted IDs so a hostile client cannot grow the
+// ring's memory arbitrarily through giant header values.
+const maxTraceID = 64
+
+// Span is one timed operation inside a trace. Fields are written by
+// StartSpan/End and read by Tree after the trace is finished; child
+// appends are serialized by the owning Trace.
+type Span struct {
+	name     string
+	addr     string // member address for RPC spans, "" otherwise
+	start    time.Time
+	duration time.Duration
+	err      string
+
+	mu       sync.Mutex
+	children []*Span
+}
+
+// End closes the span, recording its duration and error (nil-safe, so
+// callers can End an un-sampled span unconditionally).
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.duration = time.Since(s.start)
+	if err != nil {
+		s.err = err.Error()
+	}
+	s.mu.Unlock()
+}
+
+// Trace is one sampled request: an ID and the span tree under it.
+type Trace struct {
+	ID     string
+	Status int // HTTP status of the root request, set at finish
+	root   *Span
+}
+
+// newTrace builds a trace with the given (or a fresh) ID.
+func newTrace(id, rootName string) *Trace {
+	if id == "" {
+		id = fmt.Sprintf("%016x", rand.Uint64())
+	} else if len(id) > maxTraceID {
+		id = id[:maxTraceID]
+	}
+	return &Trace{ID: id, root: &Span{name: rootName, start: time.Now()}}
+}
+
+// StartSpan opens a child span under the root (nil-safe). Concurrent
+// callers — the parallel member fan-out — may start spans at once.
+func (t *Trace) StartSpan(name, addr string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{name: name, addr: addr, start: time.Now()}
+	t.root.mu.Lock()
+	t.root.children = append(t.root.children, sp)
+	t.root.mu.Unlock()
+	return sp
+}
+
+// SpanJSON is the wire shape of a span, the payload of /v1/trace/{id}.
+type SpanJSON struct {
+	Name       string     `json:"name"`
+	Addr       string     `json:"addr,omitempty"`
+	Start      time.Time  `json:"start"`
+	DurationUS int64      `json:"duration_us"`
+	Err        string     `json:"err,omitempty"`
+	Children   []SpanJSON `json:"children,omitempty"`
+}
+
+// TraceJSON is the wire shape of a finished trace.
+type TraceJSON struct {
+	ID     string   `json:"id"`
+	Status int      `json:"status"`
+	Root   SpanJSON `json:"root"`
+}
+
+func (s *Span) tree() SpanJSON {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := SpanJSON{
+		Name:       s.name,
+		Addr:       s.addr,
+		Start:      s.start,
+		DurationUS: s.duration.Microseconds(),
+		Err:        s.err,
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.tree())
+	}
+	return out
+}
+
+// Tree renders the finished trace for JSON encoding.
+func (t *Trace) Tree() TraceJSON {
+	return TraceJSON{ID: t.ID, Status: t.Status, Root: t.root.tree()}
+}
+
+// ctxKey keys the trace in a context.Context.
+type ctxKey struct{}
+
+// WithTrace attaches t to ctx; the cluster client picks it up on the
+// far side of the Store interface.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// StartSpan opens a child span under ctx's trace, or returns nil (End
+// is nil-safe) when the request is not being traced.
+func StartSpan(ctx context.Context, name, addr string) *Span {
+	return FromContext(ctx).StartSpan(name, addr)
+}
+
+// Ring is the bounded in-memory store of finished traces: fixed
+// capacity, oldest evicted first, ID-addressable.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	byID map[string]*Trace
+}
+
+// NewRing returns a ring holding up to n finished traces (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]*Trace, n), byID: make(map[string]*Trace, n)}
+}
+
+// Put stores a finished trace, evicting the oldest when full.
+func (r *Ring) Put(t *Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.buf[r.next]; old != nil && r.byID[old.ID] == old {
+		delete(r.byID, old.ID)
+	}
+	r.buf[r.next] = t
+	r.byID[t.ID] = t
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Get returns the trace with the given ID, or nil if it was never
+// sampled or has been evicted.
+func (r *Ring) Get(id string) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// Tracer owns the sampling decision and the ring of finished traces.
+type Tracer struct {
+	// Sample is the fraction of header-less requests to trace locally
+	// (0 = only propagated traces, ≥ 1 = every request).
+	Sample float64
+	ring   *Ring
+}
+
+// NewTracer returns a tracer sampling at the given rate with a ring of
+// ringSize finished traces.
+func NewTracer(sample float64, ringSize int) *Tracer {
+	return &Tracer{Sample: sample, ring: NewRing(ringSize)}
+}
+
+// sampled draws the local sampling decision for a request that arrived
+// without a trace header.
+func (tr *Tracer) sampled() bool {
+	if tr.Sample >= 1 {
+		return true
+	}
+	if tr.Sample <= 0 {
+		return false
+	}
+	return rand.Float64() < tr.Sample
+}
+
+// Start begins a trace with the given (or a generated) ID.
+func (tr *Tracer) Start(id, rootName string) *Trace {
+	return newTrace(id, rootName)
+}
+
+// Finish closes the root span, stamps the HTTP status and retains the
+// trace in the ring.
+func (tr *Tracer) Finish(t *Trace, status int) {
+	if t == nil {
+		return
+	}
+	t.root.End(nil)
+	t.Status = status
+	tr.ring.Put(t)
+}
+
+// Get retrieves a finished trace by ID.
+func (tr *Tracer) Get(id string) *Trace { return tr.ring.Get(id) }

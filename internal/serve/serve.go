@@ -20,10 +20,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -31,6 +33,7 @@ import (
 	"sync"
 
 	topk "repro"
+	"repro/internal/obs"
 )
 
 // Options configures the handler tree beyond the Store itself.
@@ -44,6 +47,12 @@ type Options struct {
 	// The zero value means "unbounded": no /v1/range band, no
 	// enforcement (the band (-Inf, +Inf) behaves identically).
 	Lo, Hi float64
+
+	// Obs is the telemetry state the handler tree records into —
+	// latency histograms, traces, request logs. Nil gets a default
+	// Telemetry (discard logger, header-only tracing), so telemetry is
+	// always on; cmd/topkd supplies one built from its flags.
+	Obs *obs.Telemetry
 }
 
 // banded reports whether a member band was configured.
@@ -102,7 +111,15 @@ type batchItem struct {
 // topk.Store interface; Sharded- or Cluster-specific introspection is
 // probed through optional interfaces.
 func New(st topk.Store, opt Options) http.Handler {
+	t := opt.Obs
+	if t == nil {
+		t = obs.New(obs.Options{})
+	}
 	mux := http.NewServeMux()
+
+	// writeJSON logs encode failures (a client gone mid-response,
+	// usually) through the structured logger instead of dropping them.
+	writeJSON := func(w http.ResponseWriter, v any) { writeJSONLog(w, v, t.Log) }
 
 	// handle registers h under /v1/pattern and, as a compatibility
 	// alias, under the unversioned path of the first release.
@@ -130,7 +147,9 @@ func New(st topk.Store, opt Options) http.Handler {
 		// Insert is atomic check-and-insert under the shard lock, so
 		// concurrent duplicates race to one 200 and one 409 — and a
 		// duplicate score anywhere in the fleet is a 409 too.
-		if err := st.Insert(req.X, req.Score); err != nil {
+		st := bindStore(st, r)
+		err := func() error { defer t.TimeOp("insert")(); return st.Insert(req.X, req.Score) }()
+		if err != nil {
 			writeErr(w, err)
 			return
 		}
@@ -143,7 +162,8 @@ func New(st topk.Store, opt Options) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
 			return
 		}
-		found := st.Delete(req.X, req.Score)
+		st := bindStore(st, r)
+		found := func() bool { defer t.TimeOp("delete")(); return st.Delete(req.X, req.Score) }()
 		writeJSON(w, map[string]any{"found": found, "n": st.Len()})
 	})
 
@@ -155,7 +175,7 @@ func New(st topk.Store, opt Options) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
 			return
 		}
-		items, err := runBatch(st, opt, req.Ops)
+		items, err := runBatch(bindStore(st, r), opt, t, req.Ops)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "bad_request", "%v", err)
 			return
@@ -183,7 +203,11 @@ func New(st topk.Store, opt Options) http.Handler {
 				return
 			}
 		}
-		res := st.TopK(x1, x2, ClampPage(st, off, k))
+		st := bindStore(st, r)
+		res := func() []topk.Result {
+			defer t.TimeOp("topk")()
+			return st.TopK(x1, x2, ClampPage(st, off, k))
+		}()
 		if off < len(res) {
 			res = res[off:]
 		} else {
@@ -199,7 +223,9 @@ func New(st topk.Store, opt Options) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad_request", "need float x1 and x2")
 			return
 		}
-		writeJSON(w, map[string]any{"count": st.Count(x1, x2)})
+		st := bindStore(st, r)
+		n := func() int { defer t.TimeOp("count")(); return st.Count(x1, x2) }()
+		writeJSON(w, map[string]any{"count": n})
 	})
 
 	// The topology epoch as a cheap change signal: gateways and caches
@@ -230,6 +256,23 @@ func New(st topk.Store, opt Options) http.Handler {
 			}
 		}
 		writeJSON(w, map[string]any{"lo": lo, "hi": hi, "n": st.Len()})
+	})
+
+	// A finished trace's span tree, by ID. The ID comes out of the
+	// X-Topkd-Trace response header of the traced request (issued by
+	// the middleware, or adopted from the client's own header); a
+	// gateway's tree shows one span per member RPC plus the merge.
+	// Traces live in a bounded ring, so a 404 means "never sampled or
+	// already evicted", not "never happened".
+	handleV1("GET", "/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		tr := t.Tracer.Get(id)
+		if tr == nil {
+			httpError(w, http.StatusNotFound, "trace_not_found",
+				"no finished trace %q (not sampled, or evicted from the ring)", id)
+			return
+		}
+		writeJSON(w, tr.Tree())
 	})
 
 	// Administrative twins of Store.ResetStats/DropCache, so remote
@@ -286,6 +329,19 @@ func New(st topk.Store, opt Options) http.Handler {
 			metric("topkd_cluster_nodes", "gauge", "Member nodes configured in the cluster.", int64(cl.Nodes()))
 			metric("topkd_cluster_nodes_ejected", "gauge", "Member nodes currently ejected by the health checker.", int64(cl.Ejected()))
 		}
+		if rf, ok := st.(interface{ ReadFailovers() int64 }); ok {
+			metric("topkd_cluster_read_failovers_total", "counter", "Reads retried on a replica after the preferred member failed.", rf.ReadFailovers())
+		}
+		metric("topkd_http_in_flight_requests", "gauge", "Requests currently inside the serving middleware.", t.InFlight())
+		obs.WriteHistogramVec(&b, "topkd_http_request_duration_seconds",
+			"Request latency by endpoint.", "endpoint", t.HTTP)
+		obs.WriteHistogramVec(&b, "topkd_store_op_duration_seconds",
+			"Store operation latency by op.", "op", t.Ops)
+		if rv, ok := st.(interface{ RPCDurations() *obs.Vec }); ok {
+			obs.WriteHistogramVec(&b, "topkd_cluster_rpc_duration_seconds",
+				"Member RPC latency by member address, as seen by this gateway's cluster client.", "member", rv.RPCDurations())
+		}
+		obs.WriteRuntimeMetrics(&b)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_, _ = w.Write([]byte(b.String()))
 	})
@@ -319,10 +375,42 @@ func New(st topk.Store, opt Options) http.Handler {
 			out["nodes"] = cl.Nodes()
 			out["ejected"] = cl.Ejected()
 		}
+		// Latency quantiles per endpoint, estimated from the same
+		// histograms /v1/metrics exports raw (so p99 here is within one
+		// log-scaled bucket — a factor of 2 — of the true value).
+		if snaps := t.HTTP.Snapshots(); len(snaps) > 0 {
+			lat := make(map[string]any, len(snaps))
+			for ep, s := range snaps {
+				lat[ep] = map[string]any{
+					"count":  s.Count,
+					"p50_ms": float64(s.Quantile(0.50)) / 1e6,
+					"p95_ms": float64(s.Quantile(0.95)) / 1e6,
+					"p99_ms": float64(s.Quantile(0.99)) / 1e6,
+				}
+			}
+			out["latency"] = lat
+		}
 		writeJSON(w, out)
 	})
 
-	return WithRecover(mux)
+	// Middleware order: the recover wrapper sits inside the telemetry
+	// middleware, so a panicking handler still records its latency, its
+	// 500 status and its request log.
+	return t.Middleware(WithRecover(mux))
+}
+
+// bindStore gives st the request's context when the backend can carry
+// one — the optional WithContext interface, implemented by the gateway
+// Cluster so member RPCs inherit the client's deadline, cancellation
+// and trace. Local backends, which have no blocking I/O to cancel,
+// don't implement it and are returned unchanged.
+func bindStore(st topk.Store, r *http.Request) topk.Store {
+	if b, ok := st.(interface {
+		WithContext(context.Context) topk.Store
+	}); ok {
+		return b.WithContext(r.Context())
+	}
+	return st
 }
 
 // runBatch executes a mixed /v1/batch payload: the update ops run
@@ -337,7 +425,7 @@ func New(st topk.Store, opt Options) http.Handler {
 // offset highest-scoring qualifying points, the fetch is clamped to
 // min(n, offset+k), and a negative offset is a structured 400 for the
 // whole batch (like an unknown op — the request itself is malformed).
-func runBatch(st topk.Store, opt Options, ops []batchOp) ([]batchItem, error) {
+func runBatch(st topk.Store, opt Options, t *obs.Telemetry, ops []batchOp) ([]batchItem, error) {
 	updates := make([]topk.BatchOp, 0, len(ops))
 	updateAt := make([]int, 0, len(ops))
 	queries := make([]topk.Query, 0)
@@ -372,7 +460,14 @@ func runBatch(st topk.Store, opt Options, ops []batchOp) ([]batchItem, error) {
 	for i, e := range bandErr {
 		items[i] = batchItem{Error: e}
 	}
-	for j, err := range st.ApplyBatch(updates) {
+	applied := func() []error {
+		if len(updates) == 0 {
+			return nil
+		}
+		defer t.TimeOp("apply_batch")()
+		return st.ApplyBatch(updates)
+	}()
+	for j, err := range applied {
 		if err != nil {
 			items[updateAt[j]] = batchItem{Error: toErrJSON(err)}
 		} else {
@@ -385,7 +480,14 @@ func runBatch(st topk.Store, opt Options, ops []batchOp) ([]batchItem, error) {
 	for j := range queries {
 		queries[j].K = ClampPage(st, queryOff[j], queries[j].K)
 	}
-	for j, res := range st.QueryBatch(queries) {
+	answered := func() [][]topk.Result {
+		if len(queries) == 0 {
+			return nil
+		}
+		defer t.TimeOp("query_batch")()
+		return st.QueryBatch(queries)
+	}()
+	for j, res := range answered {
 		if off := queryOff[j]; off < len(res) {
 			res = res[off:]
 		} else {
@@ -452,10 +554,13 @@ func queryInt(r *http.Request, key string) (int, error) {
 	return strconv.Atoi(r.URL.Query().Get(key))
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSONLog renders v as the response body, logging encode failures
+// (a vanished client, an unencodable value) through the structured
+// logger rather than dropping them.
+func writeJSONLog(w http.ResponseWriter, v any, log *slog.Logger) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("topkd: encode: %v", err)
+		log.Error("response encode failed", slog.String("err", err.Error()))
 	}
 }
 

@@ -1,0 +1,161 @@
+package serve
+
+// The differential tracing test the obs subsystem exists for: a
+// gateway-issued trace ID must surface in the member processes'
+// request logs AND in the gateway's own span tree, proving the ID
+// propagated client → gateway → member RPC → member middleware and
+// that the gateway recorded one span per member hop plus the merge.
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// syncBuffer is a goroutine-safe log sink (member handlers log from
+// net/http's per-connection goroutines).
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func debugTelemetry(sink *syncBuffer, sample float64) *obs.Telemetry {
+	return obs.New(obs.Options{
+		Logger:     slog.New(slog.NewTextHandler(sink, &slog.HandlerOptions{Level: slog.LevelDebug})),
+		SampleRate: sample,
+	})
+}
+
+func TestTraceDifferential(t *testing.T) {
+	var gwLog, m0Log, m1Log syncBuffer
+	gwObs := debugTelemetry(&gwLog, 1) // sample every request
+	memberObs := []*obs.Telemetry{debugTelemetry(&m0Log, 0), debugTelemetry(&m1Log, 0)}
+	gw, shutdown := bootTestGateway(t, gwObs, memberObs)
+	defer shutdown()
+
+	run := func(clientID string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", gw.URL+"/v1/topk?x1=0&x2=1000000&k=5", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clientID != "" {
+			req.Header.Set(obs.TraceHeader, clientID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get(obs.TraceHeader)
+		if id == "" {
+			t.Fatal("gateway issued no trace ID")
+		}
+		if clientID != "" && id != clientID {
+			t.Fatalf("gateway echoed %q, want the client's %q", id, clientID)
+		}
+
+		// Differential leg 1: the ID reached both members' request logs
+		// (every band answers a TopK fan-out).
+		for i, lg := range []*syncBuffer{&m0Log, &m1Log} {
+			if !strings.Contains(lg.String(), "trace="+id) {
+				t.Errorf("member %d request log does not carry trace %s:\n%s", i, id, lg.String())
+			}
+		}
+		// ...and the gateway's own log.
+		if !strings.Contains(gwLog.String(), "trace="+id) {
+			t.Errorf("gateway request log does not carry trace %s", id)
+		}
+
+		// Differential leg 2: the gateway's span tree for the same ID
+		// has one member-RPC span per band plus the merge span.
+		var tree obs.TraceJSON
+		if code := getJSON(t, gw.URL+"/v1/trace/"+id, &tree); code != 200 {
+			t.Fatalf("trace lookup status %d", code)
+		}
+		if tree.ID != id {
+			t.Fatalf("trace tree ID %q, want %q", tree.ID, id)
+		}
+		rpcAddrs := map[string]bool{}
+		merges := 0
+		for _, sp := range tree.Root.Children {
+			switch {
+			case sp.Name == "merge":
+				merges++
+			case sp.Addr != "":
+				if !strings.Contains(sp.Name, "/v1/topk") {
+					t.Errorf("member span %q, want a /v1/topk RPC", sp.Name)
+				}
+				rpcAddrs[sp.Addr] = true
+			}
+		}
+		if len(rpcAddrs) != 2 {
+			t.Errorf("span tree covers %d members, want 2: %+v", len(rpcAddrs), tree.Root.Children)
+		}
+		if merges != 1 {
+			t.Errorf("span tree has %d merge spans, want 1", merges)
+		}
+		if tree.Root.DurationUS <= 0 {
+			t.Errorf("root span duration %dus, want > 0", tree.Root.DurationUS)
+		}
+	}
+
+	// Gateway-issued ID (sampled at the gateway)...
+	run("")
+	// ...and a client-supplied ID, adopted end to end.
+	run("client-supplied-trace-0042")
+}
+
+// TestTraceNotFound: unknown IDs are a structured 404, and members
+// (sample rate 0, no incoming header) hold no trace ring entries.
+func TestTraceNotFound(t *testing.T) {
+	srv := httptest.NewServer(New(testStore(t, 100), Options{}))
+	defer srv.Close()
+	var out struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/trace/nope", &out); code != 404 {
+		t.Fatalf("status %d, want 404", code)
+	}
+	if out.Error.Code != "trace_not_found" {
+		t.Fatalf("code %q, want trace_not_found", out.Error.Code)
+	}
+}
+
+// failingValue makes json.Encoder.Encode fail without a broken socket.
+type failingValue struct{}
+
+func (failingValue) MarshalJSON() ([]byte, error) { return nil, fmt.Errorf("refusing to marshal") }
+
+// TestWriteJSONLogsEncodeError: encode failures land in the structured
+// logger instead of being dropped.
+func TestWriteJSONLogsEncodeError(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	writeJSONLog(httptest.NewRecorder(), failingValue{}, logger)
+	got := buf.String()
+	if !strings.Contains(got, "response encode failed") || !strings.Contains(got, "refusing to marshal") {
+		t.Fatalf("encode error not logged: %q", got)
+	}
+}
