@@ -1,0 +1,32 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseRange drives the -range flag grammar (lo:hi, open ends
+// empty) with arbitrary input. The parser must never panic, and an
+// accepted band must be well-formed: lo strictly below hi, neither
+// NaN — the property the gateway's banded mode depends on.
+func FuzzParseRange(f *testing.F) {
+	for _, seed := range []string{
+		":", "1:2", "-10:10", ":5", "5:", "1e300:1e301", "-1e300:",
+		"a:b", "1:1", "2:1", "", ":::", "NaN:NaN", "+Inf:-Inf",
+		"0x1p10:0x1p11", "1_000:2_000", "-0:0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		lo, hi, err := parseRange(s)
+		if err != nil {
+			return
+		}
+		if !(lo < hi) {
+			t.Fatalf("parseRange(%q) accepted empty band [%v, %v)", s, lo, hi)
+		}
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			t.Fatalf("parseRange(%q) accepted NaN bound [%v, %v)", s, lo, hi)
+		}
+	})
+}

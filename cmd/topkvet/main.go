@@ -1,0 +1,32 @@
+// Command topkvet runs the project's invariant suite — the custom
+// analyzers under internal/analysis — over a set of package patterns,
+// defaulting to ./... . It is the static gate CI runs next to
+// staticcheck and govulncheck: exit 0 means every checked invariant
+// holds, exit 1 lists findings in file:line:col form, exit 2 is an
+// operational failure (unparseable tree, unknown -skip name).
+//
+// Usage:
+//
+//	go run ./cmd/topkvet ./...
+//	go run ./cmd/topkvet -list
+//	go run ./cmd/topkvet -skip ctxflow ./internal/serve/...
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/boundedlabel"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/sentinelerr"
+	"repro/internal/analysis/snapshotpin"
+)
+
+func main() {
+	analysis.Main(
+		lockorder.Analyzer,
+		snapshotpin.Analyzer,
+		sentinelerr.Analyzer,
+		boundedlabel.Analyzer,
+		ctxflow.Analyzer,
+	)
+}

@@ -1,0 +1,145 @@
+// Package analysis is the project's static-analysis framework: a
+// deliberately small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API, plus the package loader and
+// multichecker driver that run a suite of analyzers over the module.
+//
+// Why not x/tools itself? The repo builds hermetically — go.mod has no
+// requirements and CI needs nothing beyond the toolchain — and the
+// subset of the upstream API the project linter needs (typed ASTs per
+// package, a Pass, Diagnostics, a testdata harness with // want
+// annotations) is tiny. The shapes below match upstream exactly where
+// they overlap (Analyzer{Name, Doc, Run}, Pass{Fset, Files, Pkg,
+// TypesInfo, Report}), so migrating to x/tools later is a mechanical
+// import swap, not a rewrite. What is intentionally NOT mirrored:
+// facts, dependencies between analyzers, and suggested fixes — the
+// invariants checked here (see cmd/topkvet) are all expressible as
+// single-package syntax+types passes.
+//
+// The loader (load.go) shells out to `go list -export -deps -json` for
+// package structure and compiled export data, then parses and
+// type-checks the target packages from source with go/types — the same
+// strategy x/tools/go/packages uses, minus the cgo and overlay
+// machinery this module never needs.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker. Mirrors
+// x/tools/go/analysis.Analyzer minus facts and requires.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -skip flags; a
+	// short lowercase identifier ("lockorder").
+	Name string
+	// Doc is the one-paragraph rule description shown by `topkvet -list`.
+	Doc string
+	// Run executes the analyzer on one package. Diagnostics go through
+	// pass.Report; the error return is for operational failures only
+	// (they abort the run), never for findings.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzed package to an Analyzer's Run. Mirrors the
+// x/tools Pass shape.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The driver
+// prefixes the owning analyzer's name when printing.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// PathHasSuffix reports whether a package import path is path-suffix
+// anchored at suffix: equal to it, or ending in "/"+suffix. Analyzers
+// scope themselves with this ("internal/shard") instead of exact
+// paths, so the analysistest testdata modules — whose module prefix
+// differs — exercise the same matching as the real tree.
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// NamedType returns the package path and name of t's core named type,
+// unwrapping one level of pointer and any alias. ("", "") when t is
+// not a named type.
+func NamedType(t types.Type) (pkgPath, name string) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// ReceiverOf returns the expression and named-type identity of a
+// method call's receiver: for a call whose Fun is `x.Sel`, it returns
+// x and NamedType(typeof x). ok is false for non-selector calls or
+// untyped receivers.
+func ReceiverOf(info *types.Info, call *ast.CallExpr) (recv ast.Expr, pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", "", false
+	}
+	tv, found := info.Types[sel.X]
+	if !found {
+		return nil, "", "", false
+	}
+	pkgPath, name = NamedType(tv.Type)
+	if name == "" {
+		return nil, "", "", false
+	}
+	return sel.X, pkgPath, name, true
+}
+
+// CalleeFunc resolves a call expression to the function or method
+// object it invokes, or nil for calls through function values,
+// conversions and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsErrorType reports whether t is the error interface or implements
+// it (pointer receivers included, since sentinel values are interface
+// values in practice).
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}

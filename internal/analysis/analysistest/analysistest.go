@@ -1,0 +1,162 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against `// want "regexp"` annotations — the
+// same contract as golang.org/x/tools/go/analysis/analysistest, on
+// this module's dependency-free framework.
+//
+// Layout: each analyzer keeps `testdata/src/<pkg>/` trees next to its
+// test file. Every tree is its own tiny Go module (the go command
+// never walks directories named testdata, so they are invisible to
+// `go build ./...` at the repo root), and the analyzer is run over
+// explicit relative directory patterns inside it. A line expecting a
+// finding carries a trailing `// want "regexp"` comment (several
+// regexps for several findings); every diagnostic must be wanted and
+// every want must be matched, so the testdata doubles as a catalog of
+// one violation and one compliant twin per rule.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the module rooted at dir (typically "testdata/src/<name>"),
+// analyzes the packages named by patterns (default "./...") with a,
+// and asserts the findings equal the // want annotations.
+func Run(t *testing.T, a *analysis.Analyzer, dir string, patterns ...string) {
+	t.Helper()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(dir, patterns)
+	if err != nil {
+		t.Fatalf("loading %s %v: %v", dir, patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s match %v", dir, patterns)
+	}
+	for _, pkg := range pkgs {
+		wants := collectWants(t, pkg)
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+		checkDiagnostics(t, pkg.Fset, diags, wants)
+	}
+}
+
+// want is one expected-finding annotation.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses the `// want "re" ["re" ...]` comments of every
+// file in pkg.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWant(text)
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, re := range res {
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant splits one or more Go-quoted regexps.
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		// Find the closing quote of this Go string literal.
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return nil, fmt.Errorf("unterminated regexp in %q", s)
+		}
+		lit := s[:end+1]
+		s = s[end+1:]
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %s: %v", lit, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, fmt.Errorf("compiling %s: %v", lit, err)
+		}
+		out = append(out, re)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no regexps")
+	}
+	return out, nil
+}
+
+// checkDiagnostics pairs findings with wants by (file, line) and
+// regexp match, then reports both leftovers.
+func checkDiagnostics(t *testing.T, fset *token.FileSet, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q: no matching diagnostic", w.file, w.line, w.re)
+		}
+	}
+}

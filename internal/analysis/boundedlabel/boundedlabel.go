@@ -1,0 +1,178 @@
+// Package boundedlabel keeps the telemetry label space closed. The obs
+// histogram vecs key series by label string, and every distinct label
+// allocates a histogram that lives for the process lifetime — a label
+// derived from request data (paths, query params, header values) is an
+// unbounded-cardinality memory leak an attacker can drive with a URL
+// loop. That is exactly why obs keeps the endpointLabels allowlist and
+// funnels paths through obs.EndpointLabel.
+//
+// The rule, applied at every Vec.Observe / Telemetry.TimeOp call site
+// in the tree: the label argument must not be request-derived. A label
+// is flagged when the expression — or, one hop away, the right-hand
+// side of the local assignment that produced it — mentions
+// *http.Request, http.Header, *url.URL or url.Values. String
+// constants, obs.EndpointLabel(...) results, and config-derived values
+// (node addresses, shard names: bounded by deployment, not by
+// traffic) all pass.
+package boundedlabel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the boundedlabel rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedlabel",
+	Doc:  "metric labels come from the closed allowlist, never from request-derived strings",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	rhs := localAssignments(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			label, method, ok := labelArg(pass, call)
+			if !ok {
+				return true
+			}
+			checkLabel(pass, call, label, method, rhs)
+			return true
+		})
+	}
+	return nil
+}
+
+// labelArg returns the label argument of an obs label-keyed call:
+// (*obs.Vec).Observe(label, d) or (*obs.Telemetry).TimeOp(op).
+func labelArg(pass *analysis.Pass, call *ast.CallExpr) (ast.Expr, string, bool) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return nil, "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, "", false
+	}
+	pkgPath, recvName := analysis.NamedType(sig.Recv().Type())
+	if !analysis.PathHasSuffix(pkgPath, "internal/obs") {
+		return nil, "", false
+	}
+	switch {
+	case recvName == "Vec" && fn.Name() == "Observe" && len(call.Args) == 2:
+		return call.Args[0], "Vec.Observe", true
+	case recvName == "Telemetry" && fn.Name() == "TimeOp" && len(call.Args) == 1:
+		return call.Args[0], "Telemetry.TimeOp", true
+	}
+	return nil, "", false
+}
+
+func checkLabel(pass *analysis.Pass, call *ast.CallExpr, label ast.Expr, method string, rhs map[*types.Var]ast.Expr) {
+	exprs := []ast.Expr{label}
+	// One hop through the local assignment that produced the label, so
+	// `endpoint := r.URL.Path; vec.Observe(endpoint, d)` is still seen —
+	// and `endpoint := EndpointLabel(...)` is still cleared.
+	if id, ok := ast.Unparen(label).(*ast.Ident); ok {
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if src, ok := rhs[v]; ok {
+				exprs = append(exprs, src)
+			}
+		}
+	}
+	for _, e := range exprs {
+		if isBounded(pass, e) {
+			return
+		}
+	}
+	for _, e := range exprs {
+		if mentionsRequestData(pass, e) {
+			pass.Reportf(label.Pos(), "%s label derives from request data; label the series from the closed allowlist (a constant or obs.EndpointLabel)", method)
+			return
+		}
+	}
+}
+
+// isBounded recognizes the explicitly-safe label sources: untyped or
+// typed string constants and the obs.EndpointLabel clamp.
+func isBounded(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	return fn != nil && fn.Pkg() != nil &&
+		analysis.PathHasSuffix(fn.Pkg().Path(), "internal/obs") && fn.Name() == "EndpointLabel"
+}
+
+// mentionsRequestData reports whether any subexpression's type is one
+// of the request-carrier types, so r.URL.Path, r.Header.Get(...), and
+// q.Get("metric") are all caught via their receiver chains.
+func mentionsRequestData(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		sub, ok := n.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		tv, ok := pass.TypesInfo.Types[sub]
+		if !ok {
+			return true
+		}
+		pkgPath, name := analysis.NamedType(tv.Type)
+		switch pkgPath + "." + name {
+		case "net/http.Request", "net/http.Header", "net/url.URL", "net/url.Values":
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// localAssignments maps each variable to the last expression assigned
+// to it anywhere in the package — the one-hop provenance step. Last
+// write wins; for the straight-line `label := src; Observe(label, d)`
+// pattern this is the binding in effect at the call.
+func localAssignments(pass *analysis.Pass) map[*types.Var]ast.Expr {
+	out := map[*types.Var]ast.Expr{}
+	record := func(lhs ast.Expr, src ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+			out[v] = src
+		} else if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			out[v] = src
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						record(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

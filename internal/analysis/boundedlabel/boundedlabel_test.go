@@ -1,0 +1,12 @@
+package boundedlabel_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/boundedlabel"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, boundedlabel.Analyzer, "testdata/src/b")
+}

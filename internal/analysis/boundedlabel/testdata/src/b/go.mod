@@ -1,0 +1,3 @@
+module b
+
+go 1.24

@@ -1,0 +1,23 @@
+// Testdata stand-in for the real internal/obs telemetry surface: the
+// two label-keyed entry points and the allowlist clamp.
+package obs
+
+import "time"
+
+type Vec struct{}
+
+func (v *Vec) Observe(label string, d time.Duration) {}
+
+type Telemetry struct {
+	HTTP *Vec
+}
+
+func (t *Telemetry) TimeOp(op string) func() { return func() {} }
+
+// EndpointLabel clamps arbitrary paths onto the closed label set.
+func EndpointLabel(path string) string {
+	if path == "/v1/topk" || path == "/v1/batch" {
+		return path
+	}
+	return "other"
+}

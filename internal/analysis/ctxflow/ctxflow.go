@@ -1,0 +1,105 @@
+// Package ctxflow enforces context threading on the request paths: in
+// internal/serve (the HTTP handlers) and internal/cluster (the remote
+// Store client), a function that already has a caller context in reach
+// — a context.Context parameter, or an *http.Request whose Context()
+// carries the client disconnect — must not mint a fresh
+// context.Background() or context.TODO(). A background context on a
+// request path detaches the downstream RPC from the client: the
+// gateway keeps fanning out to shards for a caller that hung up, and
+// per-request deadlines silently stop propagating across the tier.
+//
+// Enclosing scopes count: a closure inside a handler captures the
+// handler's request, so minting Background there is the same bug.
+// Functions with no context in reach (the health prober's periodic
+// loop, constructors) are the legitimate home of context.Background
+// and stay unflagged.
+package ctxflow
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxflow rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "serve and cluster request paths thread the caller's context; no context.Background with a ctx or request in scope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkg := pass.Pkg.Path()
+	if !analysis.PathHasSuffix(pkg, "internal/serve") && !analysis.PathHasSuffix(pkg, "internal/cluster") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				check(pass, fn.Body, ctxSource(pass, fn.Type))
+			}
+		}
+	}
+	return nil
+}
+
+// ctxSource names the parameter that makes a caller context reachable
+// in a function with this signature: a context.Context or an
+// *http.Request (via r.Context()). Empty means none.
+func ctxSource(pass *analysis.Pass, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		pkgPath, name := analysis.NamedType(tv.Type)
+		switch pkgPath + "." + name {
+		case "context.Context":
+			return "context.Context"
+		case "net/http.Request":
+			return "*http.Request"
+		}
+	}
+	return ""
+}
+
+// check walks one body. source is the innermost reachable context
+// parameter ("" if none); closures inherit it — they capture the
+// enclosing function's variables — and may introduce their own.
+func check(pass *analysis.Pass, body *ast.BlockStmt, source string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := ctxSource(pass, n.Type)
+			if inner == "" {
+				inner = source
+			}
+			check(pass, n.Body, inner)
+			return false
+		case *ast.CallExpr:
+			if source == "" {
+				return true
+			}
+			if name := freshContext(pass, n); name != "" {
+				pass.Reportf(n.Pos(), "context.%s() on a request path with a %s in scope; thread the caller's context instead", name, source)
+			}
+		}
+		return true
+	})
+}
+
+// freshContext reports a call to context.Background or context.TODO.
+func freshContext(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,3 @@
+module c
+
+go 1.24

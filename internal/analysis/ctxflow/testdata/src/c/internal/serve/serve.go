@@ -1,0 +1,41 @@
+// Testdata for the ctxflow analyzer: handlers with a caller context in
+// reach must thread it. Package path ends in internal/serve so the
+// analyzer's scope gate admits it.
+package serve
+
+import (
+	"context"
+	"net/http"
+)
+
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "context.Background"
+	_ = ctx
+}
+
+func badClosure(ctx context.Context) {
+	go func() {
+		_ = context.TODO() // want "context.TODO"
+	}()
+	_ = ctx
+}
+
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	_ = ctx
+}
+
+// goodPoller has no caller context in reach; minting Background here
+// is the legitimate pattern (mirrors the cluster health prober).
+func goodPoller() {
+	ctx := context.Background()
+	_ = ctx
+}
+
+// goodInnerCtx: the closure introduces its own context parameter, so
+// the enclosing request context is shadowed by a nearer source — and
+// threading that one is what the closure should do.
+func goodInnerCtx(r *http.Request) {
+	run := func(ctx context.Context) error { return ctx.Err() }
+	_ = run(r.Context())
+}

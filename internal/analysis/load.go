@@ -1,0 +1,176 @@
+package analysis
+
+// The package loader: the subset of x/tools/go/packages this framework
+// needs, built on the go command and the standard type checker.
+//
+// `go list -export -deps -json` yields, for every package in the
+// transitive closure of the requested patterns, its file layout AND
+// the path of its compiled export data in the build cache. The target
+// packages are then re-parsed from source (we need syntax trees, which
+// export data does not carry) and type-checked with go/types against
+// an importer that feeds every import from that export data — so a
+// load never type-checks more than the packages under analysis, no
+// matter how deep their dependency trees go.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the slice of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
+}
+
+// runList invokes `go list` in dir with the given extra arguments and
+// decodes the JSON stream.
+func runList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Dir,Export,Standard,GoFiles,Error,DepsErrors"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load resolves patterns relative to dir (a module root or any
+// directory inside one), compiles their dependency closure for export
+// data, and returns the matched non-stdlib packages parsed from source
+// and fully type-checked. Packages that fail to list or type-check
+// abort the load with an error — an analysis run over a broken tree
+// would under-report, not over-report, so it must not look green.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Pass 1: which packages do the patterns name?
+	targets, err := runList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	isTarget := map[string]bool{}
+	for _, p := range targets {
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if !p.Standard {
+			isTarget[p.ImportPath] = true
+		}
+	}
+	if len(isTarget) == 0 {
+		return nil, fmt.Errorf("patterns %v matched no packages under %s", patterns, dir)
+	}
+	// Pass 2: compile the closure and collect export data. -deps also
+	// re-lists the targets themselves; their export data is unused (they
+	// are re-checked from source) but harmless.
+	closure, err := runList(dir, append([]string{"-e", "-export", "-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	byPath := map[string]listPkg{}
+	for _, p := range closure {
+		byPath[p.ImportPath] = p
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (does it compile?)", path)
+		}
+		return os.Open(exp)
+	})
+
+	paths := make([]string, 0, len(isTarget))
+	for path := range isTarget {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	var out []*Package
+	for _, path := range paths {
+		lp, ok := byPath[path]
+		if !ok {
+			return nil, fmt.Errorf("package %s vanished between list passes", path)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", path, lp.Error.Err)
+		}
+		for _, de := range lp.DepsErrors {
+			return nil, fmt.Errorf("package %s: dependency error: %s", path, de.Err)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("package %s: %v", path, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("package %s: type check: %v", path, err)
+		}
+		out = append(out, &Package{
+			PkgPath:   path,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return out, nil
+}

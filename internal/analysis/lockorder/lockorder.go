@@ -1,0 +1,141 @@
+// Package lockorder enforces the router's documented lock ordering in
+// internal/shard: the topology lock (Router.mu) is always acquired
+// BEFORE any shard mutex (shard.mu), never after — the mu→shard.mu
+// order stated on the Router.mu field — and every topology write lock
+// is released with defer, so a panicking lifecycle pass can never
+// wedge the fleet (the exact bug class PR 1 fixed by hand after a
+// duplicate-position insert panicked mid-update while holding a shard
+// mutex).
+//
+// Two rules:
+//
+//  1. While a function (or function literal — each is its own scope)
+//     holds shard.mu, it must not acquire Router.mu in either mode,
+//     directly or by calling a package function that does so. Taking
+//     the topology lock under a shard mutex inverts the documented
+//     order against every path that locks mu first and then a shard —
+//     a deadlock waiting for scheduling.
+//
+//  2. A `Router.mu.Lock()` (write mode) must be paired with a
+//     `defer Router.mu.Unlock()` in the same scope. Explicit unlocks
+//     leak the topology lock on any panic between them.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockorder rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "internal/shard: never acquire Router.mu while holding shard.mu; defer-unlock every topology write lock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathHasSuffix(pass.Pkg.Path(), "internal/shard") {
+		return nil
+	}
+	scopes := analysis.Scopes(pass.Files)
+
+	// Interprocedural step, one level deep: which declared functions of
+	// this package acquire the router lock anywhere in their bodies
+	// (function literals included — router helpers run them inline)?
+	// Calling one of them while holding a shard mutex is the same
+	// inversion as taking the lock directly.
+	acquiresRouterMu := map[*types.Func]bool{}
+	for _, sc := range scopes {
+		if sc.Decl == nil {
+			continue
+		}
+		obj, ok := pass.TypesInfo.Defs[sc.Decl.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		var found bool
+		ast.Inspect(sc.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if ev, ok := analysis.MuEventOf(pass.TypesInfo, call); ok && isRouter(pass, ev) && ev.Op.Acquires() {
+				found = true
+			}
+			return true
+		})
+		if found {
+			acquiresRouterMu[obj] = true
+		}
+	}
+
+	for _, sc := range scopes {
+		checkScope(pass, sc, acquiresRouterMu)
+	}
+	return nil
+}
+
+// isShard / isRouter match an event's owner against this package's
+// guarded types.
+func isShard(pass *analysis.Pass, ev analysis.MuEvent) bool {
+	return ev.OwnerName == "shard" && ev.OwnerPkg == pass.Pkg.Path()
+}
+
+func isRouter(pass *analysis.Pass, ev analysis.MuEvent) bool {
+	return ev.OwnerName == "Router" && ev.OwnerPkg == pass.Pkg.Path()
+}
+
+// checkScope scans one function body in source order, tracking how
+// many shard mutexes are held. A deferred unlock does not release
+// within the scope (it runs at return, so the lock is held for the
+// rest of the body — exactly what the ordering rule must see).
+func checkScope(pass *analysis.Pass, sc analysis.FuncScope, acquiresRouterMu map[*types.Func]bool) {
+	shardHeld := 0
+	hasWriteLock := false
+	hasDeferredUnlock := false
+
+	analysis.WalkScope(sc.Body, func(n ast.Node, deferred bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		ev, isMu := analysis.MuEventOf(pass.TypesInfo, call)
+		if !isMu {
+			if shardHeld > 0 {
+				if callee := analysis.CalleeFunc(pass.TypesInfo, call); callee != nil && acquiresRouterMu[callee] {
+					pass.Reportf(call.Pos(), "%s calls %s, which acquires Router.mu, while holding shard.mu; the documented order is mu before shard.mu", sc.Name(), callee.Name())
+				}
+			}
+			return
+		}
+		ev.Deferred = deferred
+		switch {
+		case isShard(pass, ev):
+			if ev.Deferred {
+				return
+			}
+			if ev.Op == analysis.MuLock {
+				shardHeld++
+			}
+			if ev.Op == analysis.MuUnlock && shardHeld > 0 {
+				shardHeld--
+			}
+		case isRouter(pass, ev):
+			if ev.Op.Acquires() && shardHeld > 0 {
+				pass.Reportf(ev.Pos, "%s acquires Router.mu while holding shard.mu; the documented order is mu before shard.mu", sc.Name())
+			}
+			if ev.Op == analysis.MuLock && !ev.Deferred {
+				hasWriteLock = true
+			}
+			if ev.Op == analysis.MuUnlock && ev.Deferred {
+				hasDeferredUnlock = true
+			}
+		}
+	})
+
+	if hasWriteLock && !hasDeferredUnlock {
+		pass.Reportf(sc.Body.Pos(), "%s takes Router.mu in write mode without a deferred unlock; topology write locks must defer-unlock so panics cannot wedge the fleet", sc.Name())
+	}
+}

@@ -1,0 +1,68 @@
+// Testdata for the lockorder analyzer: a miniature of the real
+// internal/shard lock topology. Package path ends in internal/shard so
+// the analyzer's scope gate admits it.
+package shard
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Router struct {
+	mu     sync.RWMutex
+	shards []*shard
+}
+
+// refresh takes the topology write lock correctly (defer-unlocked);
+// it exists so callers holding shard.mu can be caught indirectly.
+func (r *Router) refresh() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.shards = append(r.shards[:0], r.shards...)
+}
+
+// badDirect inverts the documented order: topology lock under a shard
+// mutex.
+func (r *Router) badDirect(s *shard) {
+	s.mu.Lock()
+	r.mu.RLock() // want "acquires Router.mu while holding shard.mu"
+	r.mu.RUnlock()
+	s.mu.Unlock()
+}
+
+// badIndirect performs the same inversion through a call.
+func (r *Router) badIndirect(s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.refresh() // want "calls refresh, which acquires Router.mu"
+}
+
+// badWrite leaks the topology write lock on any panic before the
+// explicit unlock.
+func (r *Router) badWrite() { // want "takes Router.mu in write mode without a deferred unlock"
+	r.mu.Lock()
+	r.shards = nil
+	r.mu.Unlock()
+}
+
+// goodOrder is the documented discipline: topology lock first, shard
+// mutex second, write lock defer-unlocked.
+func (r *Router) goodOrder() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.shards {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// goodSequential releases the shard mutex before touching topology.
+func (r *Router) goodSequential(s *shard) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	r.refresh()
+}

@@ -1,0 +1,135 @@
+package analysis
+
+// The multichecker driver behind cmd/topkvet: load the requested
+// packages once, run every analyzer over each, print findings in the
+// file:line:col style every Go tool uses, and exit non-zero when
+// anything fired — the shape CI wants from a blocking gate.
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Main runs the analyzer suite as a command: parses flags, loads the
+// package patterns given as arguments (default ./...), applies every
+// analyzer and exits 0 (clean), 1 (findings) or 2 (operational
+// failure: unparseable tree, unknown analyzer, ...). It never returns.
+func Main(analyzers ...*Analyzer) {
+	list := flag.Bool("list", false, "print the analyzer catalog and exit")
+	skip := flag.String("skip", "", "comma-separated analyzer names to skip")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: topkvet [-list] [-skip name,...] [package patterns]\n\n"+
+				"Runs the project invariant suite over the packages (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		os.Exit(0)
+	}
+
+	enabled, err := filterAnalyzers(analyzers, *skip)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topkvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags, err := Run(".", flag.Args(), enabled)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topkvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", d.Position, d.Text)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "topkvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// filterAnalyzers drops the skip-listed names, erroring on unknown
+// ones (a typo in -skip must not silently disable nothing).
+func filterAnalyzers(all []*Analyzer, skip string) ([]*Analyzer, error) {
+	if skip == "" {
+		return all, nil
+	}
+	drop := map[string]bool{}
+	for _, name := range strings.Split(skip, ",") {
+		drop[strings.TrimSpace(name)] = true
+	}
+	known := map[string]bool{}
+	var out []*Analyzer
+	for _, a := range all {
+		known[a.Name] = true
+		if !drop[a.Name] {
+			out = append(out, a)
+		}
+	}
+	for name := range drop {
+		if name != "" && !known[name] {
+			return nil, fmt.Errorf("-skip: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Finding is one printable diagnostic: its resolved position and the
+// "[analyzer] message" text.
+type Finding struct {
+	Position token.Position
+	Text     string
+}
+
+// Run loads patterns relative to dir and applies every analyzer to
+// every matched package, returning the findings sorted by position.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				out = append(out, Finding{
+					Position: pkg.Fset.Position(d.Pos),
+					Text:     fmt.Sprintf("[%s] %s", a.Name, d.Message),
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Text < out[j].Text
+	})
+	return out, nil
+}

@@ -1,0 +1,58 @@
+// Testdata for the sentinelerr analyzer. The analyzer is unscoped, so
+// a flat package suffices.
+package a
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrNotFound mirrors the module's topk.Err* sentinels.
+var ErrNotFound = errors.New("position not found")
+
+// errInternal is package-level but unexported and differently named;
+// identity checks against it are out of the rule's scope.
+var errInternal = errors.New("internal")
+
+func badIdentity(err error) bool {
+	return err == ErrNotFound // want "sentinel ErrNotFound compared with =="
+}
+
+func badNegIdentity(err error) bool {
+	return err != ErrNotFound // want "sentinel ErrNotFound compared with !="
+}
+
+func badText(err error) bool {
+	return err.Error() == "position not found" // want "error text compared with =="
+}
+
+func badContains(err error) bool {
+	return strings.Contains(err.Error(), "not found") // want "strings.Contains over err.Error"
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrNotFound: // want "switch case matches sentinel ErrNotFound by identity"
+		return "not-found"
+	}
+	return "other"
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, ErrNotFound)
+}
+
+func goodNilAndLocal(err error) bool {
+	if err == nil {
+		return false
+	}
+	return err == errInternal
+}
+
+func goodSwitchIs(err error) string {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return "not-found"
+	}
+	return "other"
+}

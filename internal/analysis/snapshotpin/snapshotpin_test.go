@@ -1,0 +1,12 @@
+package snapshotpin_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotpin"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, snapshotpin.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,6 @@
+// Testdata stand-in for the real internal/merge layer.
+package merge
+
+// TopK is the shared merge entry point the analyzer bans under the
+// topology lock.
+func TopK(a, b []int) []int { return append(a, b...) }
