@@ -1,10 +1,15 @@
 # Single entry points for the checks CI runs, so the analysis gate is
 # reproducible locally with the same commands and versions.
 #
-#   make check        build + unit tests
-#   make analysis     offline static gate: gofmt, go vet, topkvet
-#   make ci-analysis  full gate: analysis + staticcheck + govulncheck
-#   make fuzz-smoke   10s per fuzz target, crashers fail the run
+#   make check         build + unit tests
+#   make analysis      offline static gate: gofmt, go vet, topkvet,
+#                      escapecheck
+#   make ci-analysis   full gate: analysis + staticcheck + govulncheck
+#   make gate-negative plant violations in a scratch copy, assert the
+#                      allocation/atomics gates actually fail
+#   make benchgate     full e15/e17/e18 run, diffed against the
+#                      committed BENCH_*.json baselines
+#   make fuzz-smoke    10s per fuzz target, crashers fail the run
 #
 # staticcheck and govulncheck are external, version-pinned tools;
 # `make tools` installs them (needs network once). The offline targets
@@ -16,8 +21,9 @@ FUZZTIME := 10s
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: all check build test race fmt-check vet topkvet analysis \
-	staticcheck govulncheck ci-analysis fuzz-smoke tools
+.PHONY: all check build test race fmt-check vet topkvet escapecheck \
+	analysis gate-negative benchgate staticcheck govulncheck \
+	ci-analysis fuzz-smoke tools
 
 all: check analysis
 
@@ -44,11 +50,39 @@ vet:
 	go vet ./...
 
 # The project invariant suite (lock ordering, snapshot pinning,
-# sentinel comparison, label cardinality, context threading).
+# sentinel comparison, label cardinality, context threading,
+# allocation-free hot paths, atomics copy discipline).
 topkvet:
 	go run ./cmd/topkvet ./...
 
-analysis: fmt-check vet topkvet
+# Compiler-escape leg of the //topk:nomalloc gate: rebuilds with
+# -gcflags=-m and fails on any heap escape inside an annotated
+# function. Complements the allocfree analyzer, which sees allocation
+# shapes but not escape decisions.
+escapecheck:
+	go run ./cmd/topkvet escapecheck ./...
+
+analysis: fmt-check vet topkvet escapecheck
+
+# Negative test of the gates: copy the tree to a scratch dir, plant
+# one violation per gate (static alloc, heap escape, atomic-struct
+# copy), and assert each gate fails with findings.
+gate-negative:
+	sh scripts/gate_negative.sh
+
+# Bench regression gate: run the three serving-layer experiments in
+# full mode into a scratch dir and diff against the committed
+# baselines. Budgets (25% qps drop, 10%+0.5 allocs/op) absorb
+# hardware noise; allocs/op growth is the signal that matters.
+BENCH_FRESH_DIR := $(or $(RUNNER_TEMP),/tmp)/topk-bench-fresh
+benchgate:
+	mkdir -p $(BENCH_FRESH_DIR)
+	go run ./cmd/topkbench -exp e15 -json -out $(BENCH_FRESH_DIR)
+	go run ./cmd/topkbench -exp e17 -json -out $(BENCH_FRESH_DIR)
+	go run ./cmd/topkbench -exp e18 -json -out $(BENCH_FRESH_DIR)
+	go run ./cmd/topkvet benchgate -baseline BENCH_e15.json -fresh $(BENCH_FRESH_DIR)/BENCH_e15.json
+	go run ./cmd/topkvet benchgate -baseline BENCH_e17.json -fresh $(BENCH_FRESH_DIR)/BENCH_e17.json
+	go run ./cmd/topkvet benchgate -baseline BENCH_e18.json -fresh $(BENCH_FRESH_DIR)/BENCH_e18.json
 
 staticcheck:
 	@command -v staticcheck >/dev/null 2>&1 || { \

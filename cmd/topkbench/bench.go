@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"repro/internal/workload"
@@ -17,6 +18,16 @@ import (
 
 // jsonOut mirrors the -json flag (main).
 var jsonOut bool
+
+// quickMode mirrors the -quick flag (main). Recorded in the JSON so
+// the benchgate refuses to diff a quick run against a full baseline —
+// the sweep sizes differ and every number with them.
+var quickMode bool
+
+// outDir mirrors the -out flag (main): where BENCH_<exp>.json files
+// land. Defaults to the working directory; the benchgate points it at
+// a scratch dir so a fresh run never clobbers the committed baselines.
+var outDir = "."
 
 // benchRow is one measured configuration of one experiment.
 type benchRow struct {
@@ -55,19 +66,19 @@ func benchRun(exp, name string, f func() workload.Throughput) workload.Throughpu
 	return res
 }
 
-// writeBench writes BENCH_<exp>.json into the working directory when
-// -json is set and the experiment recorded rows.
+// writeBench writes BENCH_<exp>.json into outDir when -json is set
+// and the experiment recorded rows.
 func writeBench(exp string) {
 	rows := benchRows[exp]
 	if !jsonOut || len(rows) == 0 {
 		return
 	}
-	data, err := json.MarshalIndent(map[string]any{"experiment": exp, "rows": rows}, "", "  ")
+	data, err := json.MarshalIndent(map[string]any{"experiment": exp, "quick": quickMode, "rows": rows}, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench json %s: %v\n", exp, err)
 		os.Exit(1)
 	}
-	path := fmt.Sprintf("BENCH_%s.json", exp)
+	path := filepath.Join(outDir, fmt.Sprintf("BENCH_%s.json", exp))
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "bench json %s: %v\n", exp, err)
 		os.Exit(1)

@@ -50,8 +50,11 @@ func main() {
 	exp := flag.String("exp", "", "experiment id (e1..e18); empty = all")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	jsonFlag := flag.Bool("json", false, "also write BENCH_<exp>.json rows (qps, ns/op, allocs/op) for the serving-layer experiments")
+	out := flag.String("out", ".", "directory for BENCH_<exp>.json files")
 	flag.Parse()
 	jsonOut = *jsonFlag
+	quickMode = *quick
+	outDir = *out
 
 	any := false
 	for _, e := range experiments {

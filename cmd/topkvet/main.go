@@ -5,28 +5,54 @@
 // holds, exit 1 lists findings in file:line:col form, exit 2 is an
 // operational failure (unparseable tree, unknown -skip name).
 //
+// Two subcommands go beyond single-package static analysis:
+//
+//	topkvet escapecheck   asks the compiler (-gcflags=-m) whether any
+//	                      //topk:nomalloc function allocates
+//	topkvet benchgate     diffs a fresh topkbench -json report against
+//	                      the committed BENCH_*.json baseline
+//
 // Usage:
 //
 //	go run ./cmd/topkvet ./...
 //	go run ./cmd/topkvet -list
+//	go run ./cmd/topkvet -json ./...
 //	go run ./cmd/topkvet -skip ctxflow ./internal/serve/...
+//	go run ./cmd/topkvet escapecheck ./...
+//	go run ./cmd/topkvet benchgate -baseline BENCH_e15.json -fresh fresh/BENCH_e15.json
 package main
 
 import (
+	"os"
+
 	"repro/internal/analysis"
+	"repro/internal/analysis/allocfree"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/benchgate"
 	"repro/internal/analysis/boundedlabel"
 	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/escape"
 	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/sentinelerr"
 	"repro/internal/analysis/snapshotpin"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "escapecheck":
+			os.Exit(escape.Main(os.Args[2:]))
+		case "benchgate":
+			os.Exit(benchgate.Main(os.Args[2:]))
+		}
+	}
 	analysis.Main(
 		lockorder.Analyzer,
 		snapshotpin.Analyzer,
 		sentinelerr.Analyzer,
 		boundedlabel.Analyzer,
 		ctxflow.Analyzer,
+		allocfree.Analyzer,
+		atomicfield.Analyzer,
 	)
 }

@@ -1,0 +1,99 @@
+// Testdata for the allocfree analyzer: every static allocation shape
+// inside an annotated function, each with a compliant twin.
+package alloc
+
+type sink struct{ xs []float64 }
+
+var global any
+
+//topk:nomalloc
+func badMake(n int) []float64 {
+	return make([]float64, n) // want "badMake is //topk:nomalloc but calls make"
+}
+
+//topk:nomalloc
+func badNew() *sink {
+	return new(sink) // want "badNew is //topk:nomalloc but calls new"
+}
+
+//topk:nomalloc
+func badAppend(s *sink, x float64) {
+	s.xs = append(s.xs, x) // want "badAppend is //topk:nomalloc but calls append"
+}
+
+//topk:nomalloc
+func badClosure(xs []float64) float64 {
+	f := func() float64 { return xs[0] } // want "badClosure is //topk:nomalloc but contains a function literal"
+	return f()
+}
+
+//topk:nomalloc
+func badGo(ch chan struct{}) {
+	go drain(ch) // want "badGo is //topk:nomalloc but starts a goroutine"
+}
+
+//topk:nomalloc
+func badAddrLit() *sink {
+	return &sink{} // want "badAddrLit is //topk:nomalloc but takes the address of a composite literal"
+}
+
+//topk:nomalloc
+func badBoxArg(x int) {
+	consume(x) // want "badBoxArg is //topk:nomalloc but boxes a int into an interface"
+}
+
+//topk:nomalloc
+func badBoxAssign(x float64) {
+	global = x // want "badBoxAssign is //topk:nomalloc but boxes a float64 into an interface"
+}
+
+//topk:nomalloc
+func badBoxVar(x int64) {
+	var v any = x // want "badBoxVar is //topk:nomalloc but boxes a int64 into an interface"
+	_ = v
+}
+
+//topk:nomalloc
+func badBoxReturn(x uint32) any {
+	return x // want "badBoxReturn is //topk:nomalloc but boxes a uint32 into an interface"
+}
+
+//topk:nomalloc
+func badBoxVariadic(x int) {
+	consumeMany("label", x) // want "badBoxVariadic is //topk:nomalloc but boxes a int into an interface"
+}
+
+// goodIndexing is the pattern annotated hot loops use instead of
+// append: reslice pre-sized backing and assign by index.
+//
+//topk:nomalloc
+func goodIndexing(dst []float64, xs []float64) []float64 {
+	dst = dst[:len(xs)]
+	for i := range xs {
+		dst[i] = xs[i]
+	}
+	return dst
+}
+
+// goodBoxing: pointers, constants, nil, and interface passthrough all
+// box without allocating.
+//
+//topk:nomalloc
+func goodBoxing(s *sink, err error) {
+	consume(s)
+	consume(nil)
+	consume("constant")
+	consume(err)
+	global = s
+}
+
+// unannotated allocates freely; the contract is opt-in.
+func unannotated(n int) []float64 {
+	out := make([]float64, 0, n)
+	go func() { _ = out }()
+	return append(out, 1)
+}
+
+func consume(v any)                   { global = v }
+func consumeMany(s string, vs ...any) { _ = s; _ = vs }
+func drain(ch chan struct{})          { <-ch }

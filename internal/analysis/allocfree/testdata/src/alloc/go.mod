@@ -1,0 +1,3 @@
+module alloc
+
+go 1.24

@@ -133,6 +133,28 @@ func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	return fn
 }
 
+// HasDirective reports whether a doc comment group carries the given
+// comment directive. Directives follow the toolchain's convention
+// (`//go:noinline`): no space after the slashes, so a prose mention of
+// the directive in a regular comment does not arm the rule.
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSuffix(c.Text, "\r")
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// NomallocDirective marks a function whose body must not allocate: the
+// allocfree analyzer rejects static allocation sites inside it, and
+// the escapecheck driver rejects compiler-reported escapes to heap.
+const NomallocDirective = "//topk:nomalloc"
+
 // IsErrorType reports whether t is the error interface or implements
 // it (pointer receivers included, since sentinel values are interface
 // values in practice).

@@ -1,0 +1,206 @@
+// Package atomicfield bans copying structs that contain sync/atomic
+// values — the same discipline vet's copylocks enforces for mutexes,
+// applied to the atomic types this module's hot paths are built on
+// (the obs histogram's stripe counters, the shard router's epoch).
+// A copied atomic.Int64 is a fork: both copies keep accepting atomic
+// updates, each sees only its own, and the split is silent — no race
+// detector report, just counters that drift. The only sound way to
+// hand such a struct around is by pointer.
+//
+// Flagged, anywhere in the tree:
+//
+//   - declaring a parameter, result, or method receiver of an
+//     atomic-bearing type by value;
+//   - assignment copies (`h2 := *h`, `s = t`) — initializing from a
+//     composite literal is legal, that is construction, not copying;
+//   - `range` clauses whose value variable copies an atomic-bearing
+//     element;
+//   - passing or returning an atomic-bearing value (a call whose
+//     argument or return copies the struct).
+//
+// Containment is transitive through struct fields and array elements;
+// pointers, slices, maps and channels break it (they share, not copy).
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicfield rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "structs containing sync/atomic values move by pointer only; copying forks the counter",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkSignature(pass, nil, n.Type)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.ReturnStmt:
+				checkReturnValues(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSignature flags by-value atomic-bearing receivers, parameters
+// and results at their declaration sites.
+func checkSignature(pass *analysis.Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(field *ast.Field, kind string) {
+		t := typeOf(pass, field.Type)
+		if t == nil || isPointerLike(t) || !containsAtomic(t) {
+			return
+		}
+		pass.Reportf(field.Type.Pos(), "%s of type %s is passed by value but contains sync/atomic fields; use a pointer — a copy forks the counters", kind, t.String())
+	}
+	if recv != nil {
+		for _, field := range recv.List {
+			report(field, "receiver")
+		}
+	}
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			report(field, "parameter")
+		}
+	}
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			report(field, "result")
+		}
+	}
+}
+
+// checkAssign flags `x = y` / `x := y` where the copied value carries
+// atomic fields. Composite literals are construction; calls are the
+// callee's result landing in place (the callee's by-value result decl
+// is where THAT copy gets flagged).
+func checkAssign(pass *analysis.Pass, n *ast.AssignStmt) {
+	for i, rhs := range n.Rhs {
+		// `_ = x` discards; nothing is forked.
+		if len(n.Lhs) == len(n.Rhs) {
+			if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+		}
+		if copiesAtomic(pass, rhs) {
+			pass.Reportf(rhs.Pos(), "assignment copies a value containing sync/atomic fields; share it by pointer — a copy forks the counters")
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, n *ast.RangeStmt) {
+	if n.Value == nil {
+		return
+	}
+	t := typeOf(pass, n.Value)
+	if t == nil || isPointerLike(t) || !containsAtomic(t) {
+		return
+	}
+	pass.Reportf(n.Value.Pos(), "range value copies an element containing sync/atomic fields; range over indices and take pointers instead")
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return // len, cap, ... don't copy their operand's payload
+		}
+	}
+	for _, arg := range call.Args {
+		if copiesAtomic(pass, arg) {
+			pass.Reportf(arg.Pos(), "call argument copies a value containing sync/atomic fields; pass a pointer — a copy forks the counters")
+		}
+	}
+}
+
+func checkReturnValues(pass *analysis.Pass, ret *ast.ReturnStmt) {
+	for _, expr := range ret.Results {
+		if copiesAtomic(pass, expr) {
+			pass.Reportf(expr.Pos(), "return copies a value containing sync/atomic fields; return a pointer — a copy forks the counters")
+		}
+	}
+}
+
+// copiesAtomic reports whether evaluating expr as an assignment source
+// copies an atomic-bearing value: the type must contain atomics and
+// the expression must read an existing value (composite literals
+// construct in place, calls hand over their own result).
+func copiesAtomic(pass *analysis.Pass, expr ast.Expr) bool {
+	e := ast.Unparen(expr)
+	switch e.(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		return false
+	}
+	t := typeOf(pass, e)
+	return t != nil && !isPointerLike(t) && containsAtomic(t)
+}
+
+// isPointerLike reports types whose copy shares rather than forks the
+// underlying atomics.
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// containsAtomic reports whether t transitively contains a sync/atomic
+// value through struct fields and array elements.
+func containsAtomic(t types.Type) bool {
+	return contains(t, make(map[types.Type]bool))
+}
+
+func contains(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return true
+		}
+		return contains(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if contains(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return contains(u.Elem(), seen)
+	}
+	return false
+}
+
+// typeOf resolves an expression's type, falling back to the object
+// maps for bare identifiers (Types does not record every identifier).
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+// Testdata for the atomicfield analyzer: every copy shape that forks
+// an atomic-bearing struct, each with a pointer-shaped compliant twin.
+package atomicf
+
+import "sync/atomic"
+
+// counter embeds an atomic directly.
+type counter struct {
+	hits atomic.Int64
+}
+
+// stats embeds counter by value — containment is transitive.
+type stats struct {
+	ok   counter
+	name string
+}
+
+// stripes carries atomics through an array element.
+type stripes struct {
+	cells [8]atomic.Uint64
+}
+
+// handle is pointer-like all the way down: copying it shares.
+type handle struct {
+	c *counter
+	m map[string]*stats
+}
+
+func badParam(c counter) { // want "parameter of type atomicf.counter is passed by value"
+	_ = c
+}
+
+func badResult(c *counter) counter { // want "result of type atomicf.counter is passed by value"
+	return *c // want "return copies a value containing sync/atomic fields"
+}
+
+func (s stats) badReceiver() {} // want "receiver of type atomicf.stats is passed by value"
+
+func badAssign(c *counter) {
+	dup := *c // want "assignment copies a value containing sync/atomic fields"
+	_ = dup
+}
+
+func badFieldCopy(s *stats) {
+	ok := s.ok // want "assignment copies a value containing sync/atomic fields"
+	_ = ok
+}
+
+func badRange(all []stats) {
+	for _, s := range all { // want "range value copies an element containing sync/atomic fields"
+		_ = s
+	}
+}
+
+func badCallArg(c *counter) {
+	badParam(*c) // want "call argument copies a value containing sync/atomic fields"
+}
+
+func badArrayed(st *stripes) {
+	cells := st.cells // want "assignment copies a value containing sync/atomic fields"
+	_ = cells
+}
+
+func badClosure() {
+	_ = func(c counter) { _ = c } // want "parameter of type atomicf.counter is passed by value"
+}
+
+// goodConstruction: composite literals build in place — nothing to
+// fork yet.
+func goodConstruction() *stats {
+	s := stats{name: "reads"}
+	return &s
+}
+
+func goodPointer(c *counter) *counter {
+	c.hits.Add(1)
+	return c
+}
+
+func (s *stats) goodReceiver() int64 {
+	return s.ok.hits.Load()
+}
+
+func goodRange(all []stats) {
+	for i := range all {
+		all[i].ok.hits.Add(1)
+	}
+}
+
+// goodHandle: pointer-like containers share the atomics instead of
+// copying them.
+func goodHandle(h handle) handle {
+	dup := h
+	return dup
+}
+
+func goodPlain(n int) int {
+	m := n
+	return m
+}

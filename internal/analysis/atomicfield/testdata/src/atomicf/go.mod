@@ -1,0 +1,3 @@
+module atomicf
+
+go 1.24

@@ -1,0 +1,142 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(exp string, quick bool, rows ...Row) Report {
+	return Report{Experiment: exp, Quick: quick, Rows: rows}
+}
+
+func row(name string, g int, qps, allocs float64) Row {
+	return Row{Name: name, Goroutines: g, Ops: 1000, QPS: qps, AllocsPerOp: allocs}
+}
+
+func TestCompareClean(t *testing.T) {
+	base := report("e15", false, row("shards=4", 8, 100000, 12))
+	fresh := report("e15", false, row("shards=4", 8, 98000, 12.3))
+	regs, err := Compare(base, fresh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("clean diff produced regressions: %v", regs)
+	}
+}
+
+func TestCompareQPSDrop(t *testing.T) {
+	base := report("e15", false, row("shards=4", 8, 100000, 12))
+	fresh := report("e15", false, row("shards=4", 8, 60000, 12))
+	regs, err := Compare(base, fresh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0].Reason, "qps") {
+		t.Fatalf("40%% qps drop not caught: %v", regs)
+	}
+}
+
+func TestCompareQPSWithinBudget(t *testing.T) {
+	base := report("e15", false, row("shards=4", 8, 100000, 12))
+	fresh := report("e15", false, row("shards=4", 8, 80000, 12))
+	regs, err := Compare(base, fresh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("20%% drop is inside the 25%% budget, got %v", regs)
+	}
+}
+
+func TestCompareAllocGrowth(t *testing.T) {
+	base := report("e17", false, row("readers=16", 16, 50000, 2))
+	fresh := report("e17", false, row("readers=16", 16, 50000, 4))
+	regs, err := Compare(base, fresh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0].Reason, "allocs/op") {
+		t.Fatalf("doubled allocs/op not caught: %v", regs)
+	}
+}
+
+func TestCompareAllocNoiseTolerated(t *testing.T) {
+	// Near-zero baselines wobble by fractions of an alloc from MemStats
+	// noise; the slack absorbs that.
+	base := report("e17", false, row("readers=16", 16, 50000, 0.1))
+	fresh := report("e17", false, row("readers=16", 16, 50000, 0.4))
+	regs, err := Compare(base, fresh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("sub-slack alloc noise flagged: %v", regs)
+	}
+}
+
+func TestCompareMissingRow(t *testing.T) {
+	base := report("e18", false, row("nodes=2", 8, 30000, 40), row("nodes=4", 8, 20000, 60))
+	fresh := report("e18", false, row("nodes=2", 8, 30000, 40))
+	regs, err := Compare(base, fresh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0].Reason, "missing") {
+		t.Fatalf("vanished configuration not caught: %v", regs)
+	}
+}
+
+func TestCompareExtraFreshRowOK(t *testing.T) {
+	base := report("e18", false, row("nodes=2", 8, 30000, 40))
+	fresh := report("e18", false, row("nodes=2", 8, 30000, 40), row("nodes=8", 8, 10000, 90))
+	regs, err := Compare(base, fresh, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("new fresh row flagged: %v", regs)
+	}
+}
+
+func TestCompareModeMismatch(t *testing.T) {
+	base := report("e15", false, row("shards=4", 8, 100000, 12))
+	fresh := report("e15", true, row("shards=4", 8, 100000, 12))
+	if _, err := Compare(base, fresh, DefaultOptions()); err == nil {
+		t.Fatal("quick-vs-full diff must be refused, not passed")
+	}
+}
+
+func TestCompareExperimentMismatch(t *testing.T) {
+	base := report("e15", false, row("shards=4", 8, 100000, 12))
+	fresh := report("e17", false, row("shards=4", 8, 100000, 12))
+	if _, err := Compare(base, fresh, DefaultOptions()); err == nil {
+		t.Fatal("cross-experiment diff must be refused")
+	}
+}
+
+func TestReadReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_e15.json")
+	body := `{"experiment":"e15","quick":false,"rows":[{"name":"shards=4","goroutines":8,"ops":1000,"qps":1,"ns_per_op":2,"allocs_per_op":3}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Experiment != "e15" || len(r.Rows) != 1 || r.Rows[0].AllocsPerOp != 3 {
+		t.Fatalf("round trip mangled the report: %+v", r)
+	}
+	if _, err := ReadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"rows":[]}`), 0o644)
+	if _, err := ReadReport(bad); err == nil {
+		t.Fatal("reports without experiment/rows must be rejected")
+	}
+}

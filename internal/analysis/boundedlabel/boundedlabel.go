@@ -7,13 +7,17 @@
 // funnels paths through obs.EndpointLabel.
 //
 // The rule, applied at every Vec.Observe / Telemetry.TimeOp call site
-// in the tree: the label argument must not be request-derived. A label
-// is flagged when the expression — or, one hop away, the right-hand
-// side of the local assignment that produced it — mentions
+// in the tree: the label argument must not be request-derived. The
+// label's provenance is traced through the shared dataflow graph
+// (internal/analysis/dataflow) to sourceDepth assignment hops, so
+// `p := r.URL.Path; q := p; vec.Observe(q, d)` is flagged two hops
+// from the request where the old per-analyzer scan stopped after one.
+// A label is flagged when any expression in its source chain mentions
 // *http.Request, http.Header, *url.URL or url.Values. String
 // constants, obs.EndpointLabel(...) results, and config-derived values
 // (node addresses, shard names: bounded by deployment, not by
-// traffic) all pass.
+// traffic) all pass — a bounded expression anywhere in the chain
+// clears the label, because the value passed through the clamp.
 package boundedlabel
 
 import (
@@ -21,6 +25,7 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
 )
 
 // Analyzer is the boundedlabel rule.
@@ -30,8 +35,14 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
+// sourceDepth bounds the provenance walk. Three hops cover every alias
+// chain the tree (and its testdata) uses; deeper chains through string
+// locals are vanishingly rare and err toward a miss, not a false
+// positive.
+const sourceDepth = 3
+
 func run(pass *analysis.Pass) error {
-	rhs := localAssignments(pass)
+	graph := dataflow.New(pass.TypesInfo, pass.Files)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -42,7 +53,7 @@ func run(pass *analysis.Pass) error {
 			if !ok {
 				return true
 			}
-			checkLabel(pass, call, label, method, rhs)
+			checkLabel(pass, graph, label, method)
 			return true
 		})
 	}
@@ -73,18 +84,12 @@ func labelArg(pass *analysis.Pass, call *ast.CallExpr) (ast.Expr, string, bool) 
 	return nil, "", false
 }
 
-func checkLabel(pass *analysis.Pass, call *ast.CallExpr, label ast.Expr, method string, rhs map[*types.Var]ast.Expr) {
-	exprs := []ast.Expr{label}
-	// One hop through the local assignment that produced the label, so
-	// `endpoint := r.URL.Path; vec.Observe(endpoint, d)` is still seen —
-	// and `endpoint := EndpointLabel(...)` is still cleared.
-	if id, ok := ast.Unparen(label).(*ast.Ident); ok {
-		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
-			if src, ok := rhs[v]; ok {
-				exprs = append(exprs, src)
-			}
-		}
-	}
+// checkLabel traces the label through the dataflow graph and applies
+// the rule over the whole source chain: bounded anywhere clears
+// (EndpointLabel is the clamp; a constant is closed by definition),
+// request-derived anywhere flags.
+func checkLabel(pass *analysis.Pass, graph *dataflow.Graph, label ast.Expr, method string) {
+	exprs := graph.Sources(pass.TypesInfo, label, sourceDepth)
 	for _, e := range exprs {
 		if isBounded(pass, e) {
 			return
@@ -136,43 +141,4 @@ func mentionsRequestData(pass *analysis.Pass, e ast.Expr) bool {
 		return !found
 	})
 	return found
-}
-
-// localAssignments maps each variable to the last expression assigned
-// to it anywhere in the package — the one-hop provenance step. Last
-// write wins; for the straight-line `label := src; Observe(label, d)`
-// pattern this is the binding in effect at the call.
-func localAssignments(pass *analysis.Pass) map[*types.Var]ast.Expr {
-	out := map[*types.Var]ast.Expr{}
-	record := func(lhs ast.Expr, src ast.Expr) {
-		id, ok := lhs.(*ast.Ident)
-		if !ok {
-			return
-		}
-		if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
-			out[v] = src
-		} else if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
-			out[v] = src
-		}
-	}
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				if len(n.Lhs) == len(n.Rhs) {
-					for i := range n.Lhs {
-						record(n.Lhs[i], n.Rhs[i])
-					}
-				}
-			case *ast.ValueSpec:
-				if len(n.Names) == len(n.Values) {
-					for i := range n.Names {
-						record(n.Names[i], n.Values[i])
-					}
-				}
-			}
-			return true
-		})
-	}
-	return out
 }

@@ -17,6 +17,12 @@ func bad(t *obs.Telemetry, v *obs.Vec, r *http.Request, d time.Duration) {
 
 	done := t.TimeOp(r.Header.Get("X-Op")) // want "Telemetry.TimeOp label derives from request data"
 	done()
+
+	// Two assignment hops from the request: the dataflow chain walks
+	// q -> p -> r.URL.Path where the old one-hop scan stopped at p.
+	p := r.URL.Path
+	q := p
+	v.Observe(q, d) // want "Vec.Observe label derives from request data"
 }
 
 func good(t *obs.Telemetry, v *obs.Vec, r *http.Request, d time.Duration, nodeAddr string) {

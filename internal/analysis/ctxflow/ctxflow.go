@@ -1,12 +1,24 @@
 // Package ctxflow enforces context threading on the request paths: in
 // internal/serve (the HTTP handlers) and internal/cluster (the remote
 // Store client), a function that already has a caller context in reach
-// — a context.Context parameter, or an *http.Request whose Context()
-// carries the client disconnect — must not mint a fresh
-// context.Background() or context.TODO(). A background context on a
-// request path detaches the downstream RPC from the client: the
-// gateway keeps fanning out to shards for a caller that hung up, and
-// per-request deadlines silently stop propagating across the tier.
+// must not mint a fresh context.Background() or context.TODO(). A
+// background context on a request path detaches the downstream RPC
+// from the client: the gateway keeps fanning out to shards for a
+// caller that hung up, and per-request deadlines silently stop
+// propagating across the tier.
+//
+// "In reach" is computed from two sources of evidence:
+//
+//   - a context.Context or *http.Request parameter (the request
+//     carries the client disconnect via r.Context()), as before;
+//   - any other context-typed value the function actually touches — a
+//     receiver field (c.baseCtx), a captured variable, a local bound
+//     from one of those — provided the shared dataflow graph
+//     (internal/analysis/dataflow) cannot trace that value back to a
+//     context.Background()/TODO() minted in the same function. Without
+//     the provenance check the prober's own `ctx, cancel :=
+//     c.callCtx(context.Background())` would count as evidence against
+//     the very call that created it.
 //
 // Enclosing scopes count: a closure inside a handler captures the
 // handler's request, so minting Background there is the same bug.
@@ -17,27 +29,34 @@ package ctxflow
 
 import (
 	"go/ast"
+	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
 )
 
 // Analyzer is the ctxflow rule.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxflow",
-	Doc:  "serve and cluster request paths thread the caller's context; no context.Background with a ctx or request in scope",
+	Doc:  "serve and cluster request paths thread the caller's context; no context.Background with a ctx or request in reach",
 	Run:  run,
 }
+
+// mintDepth bounds the provenance walk that separates independent
+// context evidence from contexts derived from the mint under scrutiny.
+const mintDepth = 3
 
 func run(pass *analysis.Pass) error {
 	pkg := pass.Pkg.Path()
 	if !analysis.PathHasSuffix(pkg, "internal/serve") && !analysis.PathHasSuffix(pkg, "internal/cluster") {
 		return nil
 	}
+	graph := dataflow.New(pass.TypesInfo, pass.Files)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if ok && fn.Body != nil {
-				check(pass, fn.Body, ctxSource(pass, fn.Type))
+				check(pass, graph, fn.Body, ctxSource(pass, fn.Type))
 			}
 		}
 	}
@@ -69,37 +88,101 @@ func ctxSource(pass *analysis.Pass, ft *ast.FuncType) string {
 
 // check walks one body. source is the innermost reachable context
 // parameter ("" if none); closures inherit it — they capture the
-// enclosing function's variables — and may introduce their own.
-func check(pass *analysis.Pass, body *ast.BlockStmt, source string) {
+// enclosing function's variables — and may introduce their own. When
+// no parameter is in reach, independent context-typed evidence in the
+// scope (a receiver field, a captured ctx variable) still counts.
+func check(pass *analysis.Pass, graph *dataflow.Graph, body *ast.BlockStmt, source string) {
+	evidence := source
+	if evidence == "" {
+		evidence = independentContext(pass, graph, body)
+	}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			inner := ctxSource(pass, n.Type)
 			if inner == "" {
-				inner = source
+				inner = evidence
 			}
-			check(pass, n.Body, inner)
+			check(pass, graph, n.Body, inner)
 			return false
 		case *ast.CallExpr:
-			if source == "" {
+			if evidence == "" {
 				return true
 			}
 			if name := freshContext(pass, n); name != "" {
-				pass.Reportf(n.Pos(), "context.%s() on a request path with a %s in scope; thread the caller's context instead", name, source)
+				pass.Reportf(n.Pos(), "context.%s() on a request path with a %s in reach; thread the caller's context instead", name, evidence)
 			}
 		}
 		return true
 	})
 }
 
+// independentContext scans the scope's own statements (nested function
+// literals excluded — they are checked as their own scopes) for a
+// context-typed expression that is NOT derived from a Background/TODO
+// minted locally, and returns a description of the first one found.
+// Empty means the scope has no independent context in reach.
+func independentContext(pass *analysis.Pass, graph *dataflow.Graph, body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok {
+			return true
+		}
+		if pkgPath, name := analysis.NamedType(tv.Type); pkgPath+"."+name != "context.Context" {
+			return true
+		}
+		if graph.FlowsFromCall(pass.TypesInfo, e, mintDepth, isFreshContextFunc) {
+			return true // minted here; not independent evidence
+		}
+		found = "context.Context value (" + exprString(e) + ")"
+		return false
+	})
+	return found
+}
+
+// exprString renders the evidence expression for the diagnostic
+// without dragging in go/printer: identifiers and one selector level
+// cover everything the rule matches.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	}
+	return "ctx"
+}
+
+// isFreshContextFunc matches context.Background and context.TODO.
+func isFreshContextFunc(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO")
+}
+
 // freshContext reports a call to context.Background or context.TODO.
 func freshContext(pass *analysis.Pass, call *ast.CallExpr) string {
 	fn := analysis.CalleeFunc(pass.TypesInfo, call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+	if fn == nil || !isFreshContextFunc(fn) {
 		return ""
 	}
-	if fn.Name() == "Background" || fn.Name() == "TODO" {
-		return fn.Name()
-	}
-	return ""
+	return fn.Name()
 }

@@ -39,3 +39,31 @@ func goodInnerCtx(r *http.Request) {
 	run := func(ctx context.Context) error { return ctx.Err() }
 	_ = run(r.Context())
 }
+
+type client struct {
+	base context.Context
+}
+
+// badFieldEvidence has no ctx parameter, but it touches the receiver's
+// stored context — independent evidence, traced by the dataflow graph,
+// that a caller context is in reach. The old parameter-only rule
+// missed this shape entirely.
+func (c *client) badFieldEvidence() {
+	parent := c.base
+	_ = parent
+	ctx := context.Background() // want "context.Background"
+	_ = ctx
+}
+
+// goodMintedOnly mirrors the health prober: the only context-typed
+// value in the function is derived from the Background it mints, so it
+// is not evidence against itself.
+func (c *client) goodMintedOnly() {
+	ctx, cancel := withCancel(context.Background())
+	defer cancel()
+	_ = ctx
+}
+
+func withCancel(parent context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(parent)
+}

@@ -1,0 +1,244 @@
+// Package dataflow is the shared value-flow layer of the analysis
+// framework: def-use chains over go/types objects, and bounded
+// transitive expansion of an expression into the set of expressions
+// whose values can reach it through local assignments.
+//
+// Before this package each analyzer re-implemented its own provenance
+// step — boundedlabel traced exactly one assignment hop with a
+// last-write-wins map, sentinelerr saw only the literal comparison
+// operand, ctxflow saw only parameters. The graph here replaces those
+// ad-hoc scans with one shared, slightly stronger model:
+//
+//   - every binding of a variable is recorded (AssignStmt, ValueSpec,
+//     and range clauses), not just the textually last one, so a value
+//     that MAY be request-derived on one path is still visible;
+//   - expansion is transitive to a caller-chosen depth, so
+//     `p := r.URL.Path; q := p; use(q)` traces back to the request in
+//     two hops where the old one-hop scan stopped at `p`;
+//   - def-use is exposed in both directions (bindings of a var, uses
+//     of a var), so analyzers can ask "where does this value come
+//     from" and "where does this value go" with the same graph.
+//
+// The model is deliberately flow-insensitive and intra-package — the
+// same altitude as the rest of the framework (single-package
+// syntax+types passes, no SSA). That is exactly enough for the
+// invariants checked here: provenance questions ("does this label
+// derive from the request", "is this operand a sentinel alias", "is
+// there an independent context in reach") where an over-approximation
+// errs toward reporting, and the testdata keeps false positives pinned
+// to zero on the shapes the tree actually uses.
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Graph is the per-package value-flow graph: for every variable, the
+// expressions bound to it and the identifiers that read it. Build one
+// per pass with New and share it across the file walk.
+type Graph struct {
+	bindings map[*types.Var][]ast.Expr
+	uses     map[*types.Var][]*ast.Ident
+}
+
+// New builds the graph for one type-checked package.
+func New(info *types.Info, files []*ast.File) *Graph {
+	g := &Graph{
+		bindings: map[*types.Var][]ast.Expr{},
+		uses:     map[*types.Var][]*ast.Ident{},
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				g.recordAssign(info, n)
+			case *ast.ValueSpec:
+				g.recordSpec(info, n)
+			case *ast.RangeStmt:
+				// Key and value are bound from elements of the range
+				// operand; the operand expression is their source.
+				g.record(info, n.Key, n.X)
+				g.record(info, n.Value, n.X)
+			case *ast.Ident:
+				if v, ok := info.Uses[n].(*types.Var); ok {
+					g.uses[v] = append(g.uses[v], n)
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// recordAssign records `lhs = rhs` and `lhs := rhs` bindings. A
+// multi-value assignment (`a, b := f()`) binds every left-hand side to
+// the producing expression — the value flowed out of that call even if
+// the graph cannot name which result.
+func (g *Graph) recordAssign(info *types.Info, n *ast.AssignStmt) {
+	if len(n.Lhs) == len(n.Rhs) {
+		for i := range n.Lhs {
+			g.record(info, n.Lhs[i], n.Rhs[i])
+		}
+		return
+	}
+	if len(n.Rhs) == 1 {
+		for _, lhs := range n.Lhs {
+			g.record(info, lhs, n.Rhs[0])
+		}
+	}
+}
+
+// recordSpec records `var x = expr` bindings, including the
+// multi-value `var a, b = f()` form.
+func (g *Graph) recordSpec(info *types.Info, n *ast.ValueSpec) {
+	if len(n.Names) == len(n.Values) {
+		for i := range n.Names {
+			g.record(info, n.Names[i], n.Values[i])
+		}
+		return
+	}
+	if len(n.Values) == 1 {
+		for _, name := range n.Names {
+			g.record(info, name, n.Values[0])
+		}
+	}
+}
+
+// record binds one LHS expression to src when the LHS is a plain
+// identifier naming a variable. Field and index writes (x.f = ...,
+// m[k] = ...) are out of the model: they mutate through the variable,
+// they do not rebind it.
+func (g *Graph) record(info *types.Info, lhs ast.Expr, src ast.Expr) {
+	if lhs == nil || src == nil {
+		return
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	var v *types.Var
+	if dv, ok := info.Defs[id].(*types.Var); ok {
+		v = dv
+	} else if uv, ok := info.Uses[id].(*types.Var); ok {
+		v = uv
+	}
+	if v == nil {
+		return
+	}
+	g.bindings[v] = append(g.bindings[v], src)
+}
+
+// Bindings returns every expression bound to v, in source order.
+func (g *Graph) Bindings(v *types.Var) []ast.Expr { return g.bindings[v] }
+
+// Uses returns every identifier that reads v, in source order — the
+// use half of the def-use chain.
+func (g *Graph) Uses(v *types.Var) []*ast.Ident { return g.uses[v] }
+
+// VarOf resolves an expression to the variable it names: an
+// identifier, possibly parenthesized. Nil for anything else.
+func VarOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// Sources returns e followed by every expression whose value can flow
+// into e through at most depth hops of local assignment: each hop
+// resolves the variables named by the frontier expressions and adds
+// their bindings. The result is deduplicated and includes e itself, so
+// callers can apply one predicate uniformly over "the expression and
+// everything it may have come from".
+func (g *Graph) Sources(info *types.Info, e ast.Expr, depth int) []ast.Expr {
+	out := []ast.Expr{e}
+	seenExpr := map[ast.Expr]bool{e: true}
+	seenVar := map[*types.Var]bool{}
+	frontier := []ast.Expr{e}
+	for hop := 0; hop < depth && len(frontier) > 0; hop++ {
+		var next []ast.Expr
+		for _, f := range frontier {
+			for _, v := range varsOf(info, f) {
+				if seenVar[v] {
+					continue
+				}
+				seenVar[v] = true
+				for _, b := range g.bindings[v] {
+					if seenExpr[b] {
+						continue
+					}
+					seenExpr[b] = true
+					out = append(out, b)
+					next = append(next, b)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// varsOf collects the variables a frontier expression reads. For a
+// plain identifier that is just the named variable; for a composite
+// expression every identifier inside it counts — the value was
+// computed from all of them.
+func varsOf(info *types.Info, e ast.Expr) []*types.Var {
+	var out []*types.Var
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// FlowsFromCall reports whether any expression in the ≤depth source
+// chain of e contains a call to a function matching match. Analyzers
+// use it for "was this value minted by X" questions — e.g. ctxflow's
+// "is this context derived from the fresh Background() it is about to
+// flag" — without re-implementing the chain walk.
+func (g *Graph) FlowsFromCall(info *types.Info, e ast.Expr, depth int, match func(*types.Func) bool) bool {
+	for _, src := range g.Sources(info, e, depth) {
+		found := false
+		ast.Inspect(src, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(info, call); fn != nil && match(fn) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc mirrors analysis.CalleeFunc without importing the parent
+// package (dataflow sits below it in the layering; analyzers import
+// both).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,239 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// load type-checks one source string as a package and returns what a
+// Pass would carry.
+func load(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, []*ast.File{f}, info
+}
+
+// findUse returns the use-site identifier with the given name inside
+// the function named fn.
+func findUse(t *testing.T, files []*ast.File, info *types.Info, fn, name string) *ast.Ident {
+	t.Helper()
+	var out *ast.Ident
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != fn {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == name {
+					if _, isUse := info.Uses[id]; isUse {
+						out = id
+					}
+				}
+				return true
+			})
+		}
+	}
+	if out == nil {
+		t.Fatalf("no use of %q in %s", name, fn)
+	}
+	return out
+}
+
+// render pretty-prints an expression set to comparable strings.
+func render(fset *token.FileSet, exprs []ast.Expr) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range exprs {
+		start, end := fset.Position(e.Pos()), fset.Position(e.End())
+		out[startEnd(start, end)] = true
+	}
+	return out
+}
+
+func startEnd(a, b token.Position) string {
+	return a.String() + "-" + b.String()
+}
+
+func TestSourcesMultiHop(t *testing.T) {
+	src := `package p
+func origin() string { return "x" }
+func f() string {
+	a := origin()
+	b := a
+	c := b
+	return c
+}`
+	fset, files, info := load(t, src)
+	g := New(info, files)
+	use := findUse(t, files, info, "f", "c")
+
+	// Depth 1: c -> b only.
+	s1 := g.Sources(info, use, 1)
+	if len(s1) != 2 {
+		t.Fatalf("depth 1: want 2 exprs (c and its binding), got %d: %v", len(s1), render(fset, s1))
+	}
+	// Depth 3: c -> b -> a -> origin().
+	s3 := g.Sources(info, use, 3)
+	if len(s3) != 4 {
+		t.Fatalf("depth 3: want 4 exprs along the chain, got %d", len(s3))
+	}
+	found := false
+	for _, e := range s3 {
+		if call, ok := e.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "origin" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("depth 3 chain never reached the origin() call")
+	}
+}
+
+func TestSourcesRecordsEveryBinding(t *testing.T) {
+	src := `package p
+func f(cond bool) string {
+	x := "const"
+	if cond {
+		x = dynamic()
+	}
+	return x
+}
+func dynamic() string { return "d" }`
+	_, files, info := load(t, src)
+	g := New(info, files)
+	use := findUse(t, files, info, "f", "x")
+	srcs := g.Sources(info, use, 2)
+	// x itself + both bindings: the last-write-wins map of the old
+	// one-hop scan would have kept only one.
+	if len(srcs) != 3 {
+		t.Fatalf("want both bindings of x in the chain, got %d exprs", len(srcs))
+	}
+}
+
+func TestSourcesMultiValueAssign(t *testing.T) {
+	src := `package p
+func two() (string, int) { return "s", 1 }
+func f() string {
+	s, _ := two()
+	return s
+}`
+	_, files, info := load(t, src)
+	g := New(info, files)
+	use := findUse(t, files, info, "f", "s")
+	srcs := g.Sources(info, use, 1)
+	foundCall := false
+	for _, e := range srcs {
+		if _, ok := e.(*ast.CallExpr); ok {
+			foundCall = true
+		}
+	}
+	if !foundCall {
+		t.Fatalf("multi-value binding did not record the producing call")
+	}
+}
+
+func TestSourcesRangeClause(t *testing.T) {
+	src := `package p
+func f(items []string) string {
+	out := ""
+	for _, it := range items {
+		out = it
+	}
+	return out
+}`
+	_, files, info := load(t, src)
+	g := New(info, files)
+	use := findUse(t, files, info, "f", "out")
+	// out <- it <- items (range operand), three hops of evidence.
+	srcs := g.Sources(info, use, 3)
+	foundItems := false
+	for _, e := range srcs {
+		if id, ok := e.(*ast.Ident); ok && id.Name == "items" {
+			foundItems = true
+		}
+	}
+	if !foundItems {
+		t.Fatalf("range clause did not connect the element var to the range operand")
+	}
+}
+
+func TestUsesDefUseChain(t *testing.T) {
+	src := `package p
+func f() int {
+	n := 1
+	a := n + 1
+	b := n + 2
+	return a + b
+}`
+	_, files, info := load(t, src)
+	g := New(info, files)
+	use := findUse(t, files, info, "f", "n")
+	v, _ := info.Uses[use].(*types.Var)
+	if v == nil {
+		t.Fatal("no var for n")
+	}
+	if got := len(g.Uses(v)); got != 2 {
+		t.Fatalf("want 2 uses of n, got %d", got)
+	}
+	if got := len(g.Bindings(v)); got != 1 {
+		t.Fatalf("want 1 binding of n, got %d", got)
+	}
+}
+
+func TestFlowsFromCall(t *testing.T) {
+	src := `package p
+import "context"
+func f() context.Context {
+	bg := context.Background()
+	ctx := wrap(bg)
+	return ctx
+}
+func g(parent context.Context) context.Context {
+	ctx := wrap(parent)
+	return ctx
+}
+func wrap(c context.Context) context.Context { return c }`
+	_, files, info := load(t, src)
+	g := New(info, files)
+	isBackground := func(fn *types.Func) bool {
+		return fn.Pkg() != nil && fn.Pkg().Path() == "context" && fn.Name() == "Background"
+	}
+
+	ctxInF := findUse(t, files, info, "f", "ctx")
+	if !g.FlowsFromCall(info, ctxInF, 3, isBackground) {
+		t.Fatal("f's ctx derives from Background through two hops; not detected")
+	}
+	ctxInG := findUse(t, files, info, "g", "ctx")
+	if g.FlowsFromCall(info, ctxInG, 3, isBackground) {
+		t.Fatal("g's ctx derives from its parameter, not Background; false positive")
+	}
+}
+
+func TestSourcesDepthZero(t *testing.T) {
+	src := `package p
+func f() int { x := 1; return x }`
+	_, files, info := load(t, src)
+	g := New(info, files)
+	use := findUse(t, files, info, "f", "x")
+	if got := g.Sources(info, use, 0); len(got) != 1 {
+		t.Fatalf("depth 0 must return only the expression itself, got %d", len(got))
+	}
+}

@@ -1,0 +1,225 @@
+// Package escape is the dynamic half of the //topk:nomalloc contract:
+// it asks the compiler. The allocfree analyzer (the static half)
+// rejects allocation sites by shape, but shape analysis cannot see
+// what escape analysis decides — a value whose address flows to a
+// callee, a variable outliving its frame through a captured pointer.
+// So this driver rebuilds the annotated packages with `go build
+// -gcflags=-m`, parses the compiler's escape diagnostics ("escapes to
+// heap", "moved to heap"), and fails when any diagnostic lands inside
+// the line range of a //topk:nomalloc function.
+//
+// The go command replays cached compiler stderr on repeat builds, so
+// the check is stable across warm build caches — verified behavior,
+// not hope. Diagnostic paths are printed relative to the build's
+// working directory; they are resolved back to absolute paths before
+// matching against the annotated ranges collected from the parsed
+// tree.
+//
+// Run as `topkvet escapecheck [patterns]`.
+package escape
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Main runs the check as the `topkvet escapecheck` subcommand over
+// the patterns in args (default ./...) and returns the process exit
+// code: 0 clean, 1 escapes found, 2 operational failure.
+func Main(args []string) int {
+	fs := flag.NewFlagSet("escapecheck", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(),
+			"usage: topkvet escapecheck [package patterns]\n\n"+
+				"Rebuilds the packages containing //topk:nomalloc functions with\n"+
+				"-gcflags=-m and fails on compiler escapes inside annotated bodies.\n")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	findings, checked, err := Check(".", fs.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topkvet escapecheck: %v\n", err)
+		return 2
+	}
+	if checked == 0 {
+		fmt.Println("topkvet escapecheck: no //topk:nomalloc functions in scope")
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: [escapecheck] %s inside //topk:nomalloc %s\n",
+			relPath(f.File), f.Line, f.Col, f.Message, f.Func)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "topkvet escapecheck: %d escape(s) inside %d annotated function(s)\n", len(findings), checked)
+		return 1
+	}
+	fmt.Printf("topkvet escapecheck: %d annotated function(s), no escapes\n", checked)
+	return 0
+}
+
+// relPath shortens an absolute path to be cwd-relative when possible;
+// diagnostics read better and match the compiler's own output.
+func relPath(abs string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return abs
+	}
+	if rel, err := filepath.Rel(wd, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return abs
+}
+
+// Finding is one compiler-reported escape inside an annotated
+// function.
+type Finding struct {
+	File    string // absolute path
+	Line    int
+	Col     int
+	Func    string // the annotated function the escape lands in
+	Message string // the compiler's diagnostic text
+}
+
+// span is the file/line extent of one annotated function.
+type span struct {
+	file       string // absolute path
+	start, end int    // line range, inclusive
+	name       string
+	pkg        string // import path, for the build invocation
+}
+
+// diagLine matches the compiler's file:line:col diagnostics.
+var diagLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// Check loads patterns relative to dir, collects every
+// //topk:nomalloc function, rebuilds the packages that contain one
+// with -gcflags=-m, and returns the escape diagnostics that land
+// inside an annotated range. The int return is the number of
+// annotated functions found — zero means the gate checked nothing,
+// which the caller may want to surface.
+func Check(dir string, patterns []string) ([]Finding, int, error) {
+	spans, err := annotatedSpans(dir, patterns)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(spans) == 0 {
+		return nil, 0, nil
+	}
+
+	pkgSet := map[string]bool{}
+	for _, s := range spans {
+		pkgSet[s.pkg] = true
+	}
+	var pkgs []string
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	diags, err := buildDiagnostics(dir, pkgs)
+	if err != nil {
+		return nil, len(spans), err
+	}
+
+	var out []Finding
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "escapes to heap") && !strings.Contains(d.Message, "moved to heap") {
+			continue
+		}
+		for _, s := range spans {
+			if d.File == s.file && d.Line >= s.start && d.Line <= s.end {
+				out = append(out, Finding{File: d.File, Line: d.Line, Col: d.Col, Func: s.name, Message: d.Message})
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out, len(spans), nil
+}
+
+// annotatedSpans parses the tree and returns the line spans of every
+// //topk:nomalloc function.
+func annotatedSpans(dir string, patterns []string) ([]span, error) {
+	pkgs, err := analysis.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var spans []span
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !analysis.HasDirective(fn.Doc, analysis.NomallocDirective) {
+					continue
+				}
+				start := pkg.Fset.Position(fn.Pos())
+				end := pkg.Fset.Position(fn.End())
+				file, err := filepath.Abs(start.Filename)
+				if err != nil {
+					return nil, err
+				}
+				spans = append(spans, span{
+					file:  file,
+					start: start.Line,
+					end:   end.Line,
+					name:  fn.Name.Name,
+					pkg:   pkg.PkgPath,
+				})
+			}
+		}
+	}
+	return spans, nil
+}
+
+// buildDiagnostics rebuilds pkgs with escape-analysis diagnostics on
+// and returns every file:line:col line the compiler printed, paths
+// resolved to absolute against dir.
+func buildDiagnostics(dir string, pkgs []string) ([]Finding, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{"build", "-gcflags=-m"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.Bytes())
+	}
+	var out []Finding
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := diagLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(absDir, file)
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		out = append(out, Finding{File: file, Line: lineNo, Col: col, Message: m[4]})
+	}
+	return out, nil
+}

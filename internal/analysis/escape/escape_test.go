@@ -1,0 +1,43 @@
+package escape_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/escape"
+)
+
+func TestCheckFindsAnnotatedEscapes(t *testing.T) {
+	findings, checked, err := escape.Check("testdata/src/esc", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if checked != 2 {
+		t.Fatalf("checked = %d annotated functions, want 2", checked)
+	}
+	if len(findings) == 0 {
+		t.Fatalf("no findings; want the moved-to-heap escape in badEscape")
+	}
+	for _, f := range findings {
+		if f.Func != "badEscape" {
+			t.Errorf("finding in %s (%s:%d: %s); only badEscape should be flagged", f.Func, f.File, f.Line, f.Message)
+		}
+		if !strings.Contains(f.Message, "heap") {
+			t.Errorf("finding message %q does not mention the heap", f.Message)
+		}
+	}
+}
+
+func TestCheckRepeatedBuildStillReports(t *testing.T) {
+	// The go command replays cached compiler diagnostics; a warm build
+	// cache must not turn the gate green.
+	for round := range 2 {
+		findings, _, err := escape.Check("testdata/src/esc", []string{"./..."})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(findings) == 0 {
+			t.Fatalf("round %d: findings vanished — build cache swallowed the diagnostics", round)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Testdata for the escapecheck driver. The shapes here are invisible
+// to the static allocfree analyzer — no make/new/append/closure in
+// sight — and only the compiler's escape analysis catches them.
+package esc
+
+// sink keeps escaping pointers reachable so the compiler cannot
+// optimize the escape away.
+var sink *int
+
+// badEscape promises not to allocate, but &x outlives the frame: the
+// compiler moves x to the heap.
+//
+//topk:nomalloc
+func badEscape(n int) *int {
+	x := n
+	return &x
+}
+
+// goodSum is genuinely allocation-free: everything stays in the frame.
+//
+//topk:nomalloc
+func goodSum(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// unannotatedEscape escapes identically to badEscape but made no
+// promise; the gate checks only annotated functions.
+func unannotatedEscape(n int) *int {
+	x := n
+	sink = &x
+	return sink
+}

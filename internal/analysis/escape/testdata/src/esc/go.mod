@@ -1,0 +1,3 @@
+module esc
+
+go 1.24

@@ -15,6 +15,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -63,7 +64,7 @@ func runList(dir string, args ...string) ([]listPkg, error) {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)

@@ -6,10 +6,12 @@ package analysis
 // anything fired — the shape CI wants from a blocking gate.
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -21,9 +23,12 @@ import (
 func Main(analyzers ...*Analyzer) {
 	list := flag.Bool("list", false, "print the analyzer catalog and exit")
 	skip := flag.String("skip", "", "comma-separated analyzer names to skip")
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array (file/line/col/analyzer/message) instead of text")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: topkvet [-list] [-skip name,...] [package patterns]\n\n"+
+			"usage: topkvet [-list] [-skip name,...] [-json] [package patterns]\n"+
+				"       topkvet escapecheck [package patterns]\n"+
+				"       topkvet benchgate -baseline FILE -fresh FILE\n\n"+
 				"Runs the project invariant suite over the packages (default ./...).\n\n")
 		flag.PrintDefaults()
 	}
@@ -47,14 +52,58 @@ func Main(analyzers ...*Analyzer) {
 		fmt.Fprintf(os.Stderr, "topkvet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: %s\n", d.Position, d.Text)
+	if *jsonOut {
+		out := make([]findingJSON, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, findingJSON{
+				File:     relToCwd(d.Position.Filename),
+				Line:     d.Position.Line,
+				Col:      d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "topkvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "topkvet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 	os.Exit(0)
+}
+
+// relToCwd rewrites an absolute finding path relative to the working
+// directory when it lies underneath it: GitHub ::error annotations
+// only attach to the diff when the file path is repo-relative.
+func relToCwd(path string) string {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(cwd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}
+
+// findingJSON is the -json wire shape; CI turns each element into a
+// GitHub ::error annotation.
+type findingJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // filterAnalyzers drops the skip-listed names, erroring on unknown
@@ -83,11 +132,12 @@ func filterAnalyzers(all []*Analyzer, skip string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Finding is one printable diagnostic: its resolved position and the
-// "[analyzer] message" text.
+// Finding is one printable diagnostic: its resolved position, the
+// analyzer that fired, and the message.
 type Finding struct {
 	Position token.Position
-	Text     string
+	Analyzer string
+	Message  string
 }
 
 // Run loads patterns relative to dir and applies every analyzer to
@@ -110,7 +160,8 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error
 			pass.Report = func(d Diagnostic) {
 				out = append(out, Finding{
 					Position: pkg.Fset.Position(d.Pos),
-					Text:     fmt.Sprintf("[%s] %s", a.Name, d.Message),
+					Analyzer: a.Name,
+					Message:  d.Message,
 				})
 			}
 			if err := a.Run(pass); err != nil {
@@ -129,7 +180,10 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return out[i].Text < out[j].Text
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Message < out[j].Message
 	})
 	return out, nil
 }

@@ -11,6 +11,13 @@
 //
 //   - `err == ErrX` / `err != ErrX` where ErrX is a package-level
 //     error variable named Err*. (Comparisons against nil stay legal.)
+//   - the same identity match against a sentinel from ANOTHER package,
+//     whatever its name: io.EOF, context.Canceled, sql.ErrNoRows —
+//     every exported package-level error variable in a dependency is a
+//     sentinel by construction, and the stdlib wraps too (fs.ErrNotExist
+//     behind *PathError, context causes behind joined errors).
+//   - a comparison against a LOCAL ALIAS of a sentinel (`e := io.EOF;
+//     if err == e`), traced through the shared dataflow graph.
 //   - `switch err { case ErrX: }` — the same identity match in
 //     switch clothing.
 //   - comparing or substring-matching `err.Error()` text: `x.Error() ==
@@ -27,6 +34,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/dataflow"
 )
 
 // Analyzer is the sentinelerr rule.
@@ -36,14 +44,19 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
+// aliasDepth bounds the dataflow walk that traces a compared value
+// back to a sentinel binding (`e := io.EOF; if err == e`).
+const aliasDepth = 3
+
 func run(pass *analysis.Pass) error {
+	graph := dataflow.New(pass.TypesInfo, pass.Files)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.BinaryExpr:
-				checkBinary(pass, n)
+				checkBinary(pass, graph, n)
 			case *ast.SwitchStmt:
-				checkSwitch(pass, n)
+				checkSwitch(pass, graph, n)
 			case *ast.CallExpr:
 				checkStringsCall(pass, n)
 			}
@@ -53,9 +66,14 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// sentinelName returns the name of the package-level Err* error
-// variable expr refers to, or "".
-func sentinelName(pass *analysis.Pass, expr ast.Expr) string {
+// directSentinelName returns the name of the sentinel error variable
+// expr refers to, or "". Two shapes qualify: a package-level error
+// variable named Err* in the package under analysis (the module's own
+// convention), and ANY package-level error variable from another
+// package — io.EOF and context.Canceled carry no Err prefix, but an
+// exported error variable in a dependency is a sentinel by
+// construction.
+func directSentinelName(pass *analysis.Pass, expr ast.Expr) string {
 	var id *ast.Ident
 	switch e := ast.Unparen(expr).(type) {
 	case *ast.Ident:
@@ -73,10 +91,35 @@ func sentinelName(pass *analysis.Pass, expr ast.Expr) string {
 	if v.Parent() != v.Pkg().Scope() {
 		return ""
 	}
-	if !strings.HasPrefix(v.Name(), "Err") || !analysis.IsErrorType(v.Type()) {
+	if !analysis.IsErrorType(v.Type()) {
 		return ""
 	}
-	return v.Name()
+	if v.Pkg() == pass.Pkg {
+		if !strings.HasPrefix(v.Name(), "Err") {
+			return ""
+		}
+		return v.Name()
+	}
+	return v.Pkg().Name() + "." + v.Name()
+}
+
+// sentinelName resolves expr — or, through the dataflow graph, any
+// binding it aliases — to a sentinel error variable, returning its
+// name or "".
+func sentinelName(pass *analysis.Pass, graph *dataflow.Graph, expr ast.Expr) string {
+	for _, src := range graph.Sources(pass.TypesInfo, expr, aliasDepth) {
+		if name := directSentinelName(pass, src); name != "" {
+			return name
+		}
+	}
+	return ""
+}
+
+// isNilLiteral reports the untyped nil, which both sides of a legal
+// `err == nil` check are allowed to be.
+func isNilLiteral(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(expr)]
+	return ok && tv.IsNil()
 }
 
 // errorTextOf reports whether expr is a call to the error interface's
@@ -94,12 +137,18 @@ func errorTextOf(pass *analysis.Pass, expr ast.Expr) bool {
 	return ok && analysis.IsErrorType(tv.Type)
 }
 
-func checkBinary(pass *analysis.Pass, n *ast.BinaryExpr) {
+func checkBinary(pass *analysis.Pass, graph *dataflow.Graph, n *ast.BinaryExpr) {
 	if n.Op != token.EQL && n.Op != token.NEQ {
 		return
 	}
+	// `err == nil` is the one identity check wrapping can't break; the
+	// alias trace must not turn it into a finding just because err was
+	// seeded from a sentinel somewhere upstream.
+	if isNilLiteral(pass, n.X) || isNilLiteral(pass, n.Y) {
+		return
+	}
 	for _, side := range []ast.Expr{n.X, n.Y} {
-		if name := sentinelName(pass, side); name != "" {
+		if name := sentinelName(pass, graph, side); name != "" {
 			pass.Reportf(n.Pos(), "sentinel %s compared with %s; wrapped errors never match — use errors.Is(err, %s)", name, n.Op, name)
 			return
 		}
@@ -109,7 +158,7 @@ func checkBinary(pass *analysis.Pass, n *ast.BinaryExpr) {
 	}
 }
 
-func checkSwitch(pass *analysis.Pass, n *ast.SwitchStmt) {
+func checkSwitch(pass *analysis.Pass, graph *dataflow.Graph, n *ast.SwitchStmt) {
 	if n.Tag == nil {
 		return
 	}
@@ -122,7 +171,10 @@ func checkSwitch(pass *analysis.Pass, n *ast.SwitchStmt) {
 			continue
 		}
 		for _, expr := range cc.List {
-			if name := sentinelName(pass, expr); name != "" {
+			if isNilLiteral(pass, expr) {
+				continue
+			}
+			if name := sentinelName(pass, graph, expr); name != "" {
 				pass.Reportf(expr.Pos(), "switch case matches sentinel %s by identity; wrapped errors never match — use errors.Is(err, %s)", name, name)
 			}
 		}

@@ -3,7 +3,9 @@
 package a
 
 import (
+	"context"
 	"errors"
+	"io"
 	"strings"
 )
 
@@ -38,8 +40,48 @@ func badSwitch(err error) string {
 	return "other"
 }
 
+// Foreign sentinels carry no Err prefix, but an exported package-level
+// error variable in a dependency is a sentinel by construction — and
+// the stdlib wraps too (fs.ErrNotExist behind *PathError).
+func badStdlibIdentity(err error) bool {
+	return err == io.EOF // want "sentinel io.EOF compared with =="
+}
+
+func badStdlibNeg(err error) bool {
+	return err != context.Canceled // want "sentinel context.Canceled compared with !="
+}
+
+// The alias hop: the dataflow graph traces e back to its io.EOF
+// binding, so laundering the sentinel through a local changes nothing.
+func badAliasedSentinel(err error) bool {
+	e := io.EOF
+	return err == e // want "sentinel io.EOF compared with =="
+}
+
+func badStdlibSwitch(err error) string {
+	switch err {
+	case io.EOF: // want "switch case matches sentinel io.EOF by identity"
+		return "eof"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
 func goodIs(err error) bool {
 	return errors.Is(err, ErrNotFound)
+}
+
+func goodStdlibIs(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, context.Canceled)
+}
+
+// goodNilAfterSeed: err is seeded from a sentinel, but `== nil` is the
+// one identity check wrapping can't break — the alias trace must not
+// flag it.
+func goodNilAfterSeed() bool {
+	err := io.EOF
+	return err == nil
 }
 
 func goodNilAndLocal(err error) bool {

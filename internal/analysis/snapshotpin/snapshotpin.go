@@ -92,7 +92,7 @@ func isFanOutOrMerge(pass *analysis.Pass, fn *types.Func) bool {
 	if fn == nil || fn.Pkg() == nil {
 		return false
 	}
-	if fn.Pkg().Path() == pass.Pkg.Path() && (fn.Name() == "fanOut" || fn.Name() == "mergeTopK") {
+	if fn.Pkg().Path() == pass.Pkg.Path() && (fn.Name() == "fanOut" || fn.Name() == "fanOutTopo" || fn.Name() == "mergeTopK") {
 		return true
 	}
 	return analysis.PathHasSuffix(fn.Pkg().Path(), "internal/merge") && fn.Name() == "TopK"

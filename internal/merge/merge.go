@@ -18,36 +18,132 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/heap"
 	"repro/internal/point"
 )
 
-// listSource adapts a descending-score point list to heap.Source: a
-// sorted list is a unary max-heap chain (entry i's only child is
-// entry i+1), so heap.Forest + heap.SelectTop perform a k-way merge
-// that pops the global maximum at every step. Refs are list indices;
-// no I/O is charged (the lists are query results already in memory).
-type listSource []point.P
-
-func (l listSource) Roots() []heap.Entry {
-	if len(l) == 0 {
-		return nil
-	}
-	return []heap.Entry{{Ref: 0, Key: l[0].Score}}
+// cursor is one per-list read head in the k-way merge: the next
+// candidate's score plus where it lives. Concrete and word-sized on
+// purpose — the previous implementation adapted the generic
+// heap.Forest, whose container/heap-style interface boxed every
+// pushed entry into an interface value, allocating once per merged
+// point. The cursor heap keeps the whole merge in two reusable
+// slices.
+type cursor struct {
+	key  float64
+	list int32
+	idx  int32
 }
 
-func (l listSource) Children(ref int64) []heap.Entry {
-	next := ref + 1
-	if next >= int64(len(l)) {
-		return nil
+// Merger owns the reusable backing of a k-way merge: the cursor heap.
+// A Merger is not safe for concurrent use; TopK draws them from a
+// pool, long-lived callers (the shard router's fan-out) can hold
+// their own.
+type Merger struct {
+	heap []cursor
+}
+
+// NewMerger returns an empty Merger; backing grows on first use and
+// is reused afterwards.
+func NewMerger() *Merger { return &Merger{} }
+
+// mergerPool recycles Mergers across TopK calls so the steady-state
+// serving path performs no heap setup per query.
+var mergerPool = sync.Pool{New: func() any { return NewMerger() }}
+
+// TopKInto k-way merges per-partition descending-score lists into the
+// global top k, preserving exact order (scores are distinct). k is
+// clamped to the merged length first, so an absurd client-supplied k
+// cannot drive the output allocation. The result is written into dst
+// when its capacity suffices (dst is resliced from zero; its previous
+// contents are ignored) — a warm Merger with an adequate dst performs
+// zero allocations, which the //topk:nomalloc annotations on the loop
+// guarantee and TestTopKIntoZeroAllocs enforces.
+func (m *Merger) TopKInto(dst []point.P, lists [][]point.P, k int) []point.P {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
 	}
-	return []heap.Entry{{Ref: next, Key: l[next].Score}}
+	if k > total {
+		k = total
+	}
+	if k <= 0 {
+		return dst[:0]
+	}
+	// Cold path: grow the output and heap backing outside the
+	// annotated loop.
+	if cap(dst) < k {
+		dst = make([]point.P, 0, k)
+	}
+	if cap(m.heap) < len(lists) {
+		m.heap = make([]cursor, 0, len(lists))
+	}
+	return m.mergeLoop(dst[:k], lists)
+}
+
+// mergeLoop fills dst from the lists through the cursor heap. The
+// caller has sized dst to the clamped k and m.heap to len(lists);
+// everything here is reslicing and index assignment — append is
+// banned in annotated functions even when capacity suffices.
+//
+//topk:nomalloc
+func (m *Merger) mergeLoop(dst []point.P, lists [][]point.P) []point.P {
+	h := m.heap[:0]
+	for i := range lists {
+		if len(lists[i]) > 0 {
+			h = h[:len(h)+1]
+			h[len(h)-1] = cursor{key: lists[i][0].Score, list: int32(i), idx: 0}
+		}
+	}
+	// Floyd heapify: sift down every internal node.
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+	n := 0
+	for n < len(dst) && len(h) > 0 {
+		top := h[0]
+		dst[n] = lists[top.list][top.idx]
+		n++
+		if next := top.idx + 1; int(next) < len(lists[top.list]) {
+			h[0] = cursor{key: lists[top.list][next].Score, list: top.list, idx: next}
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		if len(h) > 0 {
+			siftDown(h, 0)
+		}
+	}
+	m.heap = h[:0]
+	return dst[:n]
+}
+
+// siftDown restores the max-heap property below index i.
+//
+//topk:nomalloc
+func siftDown(h []cursor, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		big := l
+		if r := l + 1; r < len(h) && h[r].key > h[l].key {
+			big = r
+		}
+		if h[big].key <= h[i].key {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
 }
 
 // TopK k-way merges per-partition descending-score lists into the
-// global top k, preserving exact order (scores are distinct). k is
-// clamped to the merged length first, so an absurd client-supplied k
-// cannot drive the output allocation.
+// global top k. Semantics are unchanged from the original: nil when
+// every list is empty, and a single non-empty list is returned by
+// reference (truncated to k), not copied. The merge state comes from
+// a pool, so the only steady-state allocation is the result slice
+// itself.
 func TopK(lists [][]point.P, k int) []point.P {
 	nonEmpty := lists[:0]
 	total := 0
@@ -69,15 +165,9 @@ func TopK(lists [][]point.P, k int) []point.P {
 		}
 		return nonEmpty[0]
 	}
-	f := &heap.Forest{Sources: make([]heap.Source, len(nonEmpty))}
-	for i, l := range nonEmpty {
-		f.Sources[i] = listSource(l)
-	}
-	out := make([]point.P, 0, k)
-	for _, e := range heap.SelectTop(f, k) {
-		src, ref := heap.SplitRef(e.Ref)
-		out = append(out, nonEmpty[src][ref])
-	}
+	m := mergerPool.Get().(*Merger)
+	out := m.TopKInto(make([]point.P, 0, k), nonEmpty, k)
+	mergerPool.Put(m)
 	return out
 }
 

@@ -43,6 +43,69 @@ func TestTopKMatchesReference(t *testing.T) {
 	}
 }
 
+// TestTopKIntoMatchesTopK runs the reusable merger against the TopK
+// wrapper over randomized partitions; the two paths share the loop but
+// differ in backing management, and both must agree element-for-element.
+func TestTopKIntoMatchesTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewMerger()
+	var dst []point.P
+	for trial := 0; trial < 50; trial++ {
+		parts := 2 + rng.Intn(5)
+		lists := make([][]point.P, parts)
+		n := 0
+		for i := range lists {
+			ln := rng.Intn(40)
+			n += ln
+			lists[i] = make([]point.P, ln)
+			for j := range lists[i] {
+				lists[i][j] = point.P{X: rng.Float64(), Score: rng.Float64()}
+			}
+			point.SortByScoreDesc(lists[i])
+		}
+		for _, k := range []int{0, 1, n / 2, n, n + 5} {
+			// TopK compacts its argument slice in place; give it a copy.
+			listsCopy := make([][]point.P, len(lists))
+			copy(listsCopy, lists)
+			want := TopK(listsCopy, k)
+			dst = m.TopKInto(dst, lists, k)
+			if len(dst) != len(want) {
+				t.Fatalf("trial %d k=%d: TopKInto len %d, TopK len %d", trial, k, len(dst), len(want))
+			}
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Fatalf("trial %d k=%d idx %d: TopKInto %v, TopK %v", trial, k, i, dst[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKIntoZeroAllocs is the testing half of the //topk:nomalloc
+// contract on the merge loop: a warm Merger with adequate dst capacity
+// performs zero allocations per merge.
+func TestTopKIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const k = 16
+	lists := make([][]point.P, 8)
+	for i := range lists {
+		lists[i] = make([]point.P, 50)
+		for j := range lists[i] {
+			lists[i][j] = point.P{X: rng.Float64(), Score: rng.Float64()}
+		}
+		point.SortByScoreDesc(lists[i])
+	}
+	m := NewMerger()
+	dst := make([]point.P, 0, k)
+	dst = m.TopKInto(dst, lists, k) // warm the heap backing
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = m.TopKInto(dst, lists, k)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm TopKInto allocates %.1f times per run; //topk:nomalloc promises 0", allocs)
+	}
+}
+
 // TestParallelPanic checks a worker panic is re-raised on the caller.
 func TestParallelPanic(t *testing.T) {
 	defer func() {

@@ -99,6 +99,26 @@ func TestQuantile(t *testing.T) {
 }
 
 // TestVec: labels create lazily, Get misses return nil, labels sort.
+// TestObserveZeroAllocs is the testing half of the //topk:nomalloc
+// contract on the histogram hot path: both the bare histogram and a
+// warm (label already created) vector record without allocating.
+func TestObserveZeroAllocs(t *testing.T) {
+	var h Histogram
+	if allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(42 * time.Microsecond)
+	}); allocs != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f times per run; //topk:nomalloc promises 0", allocs)
+	}
+
+	v := NewVec()
+	v.Observe("topk", time.Millisecond) // create the label: the one cold path
+	if allocs := testing.AllocsPerRun(100, func() {
+		v.Observe("topk", 42*time.Microsecond)
+	}); allocs != 0 {
+		t.Errorf("warm Vec.Observe allocates %.1f times per run; //topk:nomalloc promises 0", allocs)
+	}
+}
+
 func TestVec(t *testing.T) {
 	v := NewVec()
 	v.Observe("b", time.Millisecond)

@@ -44,7 +44,14 @@ func mergeTopK(lists [][]point.P, k int) []point.P { return merge.TopK(lists, k)
 // points it held at pin time).
 func (r *Router) fanOut(x1, x2 float64, setup func(count int), per func(slot int, ix *core.Index)) {
 	t := r.snapshot()
-	lo, hi := t.locate(x1), t.locate(x2)
+	r.fanOutTopo(t, t.locate(x1), t.locate(x2), setup, per)
+}
+
+// fanOutTopo is fanOut over an already-pinned snapshot and located
+// shard range [lo, hi]: callers that need the topology for their own
+// routing (TopK's single-shard fast path) pin once and reuse it here
+// instead of paying a second atomic load and locate pass.
+func (r *Router) fanOutTopo(t *topology, lo, hi int, setup func(count int), per func(slot int, ix *core.Index)) {
 	setup(hi - lo + 1)
 	if lo == hi {
 		s := t.shards[lo]
@@ -69,6 +76,11 @@ func (r *Router) fanOut(x1, x2 float64, setup func(count int), per func(slot int
 // in descending score order, fanning out to every shard the interval
 // overlaps in parallel and heap-merging the per-shard answers. The
 // read is linearized at the moment it pins the topology snapshot.
+//
+// An interval inside one shard — the common case for range-local
+// workloads — takes the topKSingle fast path: no goroutines, no list
+// slice, no merge; the router layer adds zero allocations over the
+// underlying Index.Query (TestRouterTopKAddsNoAllocs holds it there).
 func (r *Router) TopK(x1, x2 float64, k int) []point.P {
 	// NaN bounds match nothing; they must be rejected here because they
 	// also defeat the x1 > x2 guard and the locate binary search (every
@@ -77,11 +89,30 @@ func (r *Router) TopK(x1, x2 float64, k int) []point.P {
 	if k <= 0 || x1 > x2 || math.IsNaN(x1) || math.IsNaN(x2) {
 		return nil
 	}
+	t := r.snapshot()
+	lo, hi := t.locate(x1), t.locate(x2)
+	if lo == hi {
+		return topKSingle(t, lo, x1, x2, k)
+	}
 	var lists [][]point.P
-	r.fanOut(x1, x2,
+	r.fanOutTopo(t, lo, hi,
 		func(count int) { lists = make([][]point.P, count) },
 		func(slot int, ix *core.Index) { lists[slot] = ix.Query(x1, x2, k) })
 	return mergeTopK(lists, k)
+}
+
+// topKSingle answers a TopK whose interval one shard covers, on the
+// caller's goroutine: shard mutex, one Index.Query, done. The
+// annotation is the router-layer claim — this frame allocates
+// nothing; whatever Index.Query allocates for its own answer is the
+// index's budget, not the router's.
+//
+//topk:nomalloc
+func topKSingle(t *topology, i int, x1, x2 float64, k int) []point.P {
+	s := t.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Query(x1, x2, k)
 }
 
 // Count returns the number of stored points with position in [x1, x2],

@@ -833,3 +833,36 @@ func TestMergeTopKOrder(t *testing.T) {
 		t.Fatalf("all-empty merge = %v", got)
 	}
 }
+
+// TestRouterTopKAddsNoAllocs is the testing half of the
+// //topk:nomalloc contract on the routed read path: for an interval
+// one shard covers, the router layer (snapshot pin, locate, single-
+// shard dispatch) performs ZERO allocations of its own — a routed
+// TopK allocates exactly what the underlying Index.Query allocates.
+func TestRouterTopKAddsNoAllocs(t *testing.T) {
+	pts := workload.NewGen(31).Uniform(4000, 1e6)
+	r := Bulk(testOptions(4), pts, 4)
+	topo := r.snapshot()
+	if len(topo.shards) < 3 {
+		t.Fatalf("bulk load produced %d shards; need an interior shard", len(topo.shards))
+	}
+	s := topo.shards[1]
+	x1, x2 := s.lo, s.lo+(s.hi-s.lo)/2
+	const k = 10
+	if lo, hi := topo.locate(x1), topo.locate(x2); lo != 1 || hi != 1 {
+		t.Fatalf("interval [%g,%g] spans shards %d..%d; want it inside shard 1", x1, x2, lo, hi)
+	}
+	r.TopK(x1, x2, k) // warm the shard's buffer pool
+
+	direct := testing.AllocsPerRun(100, func() {
+		s.mu.Lock()
+		s.ix.Query(x1, x2, k)
+		s.mu.Unlock()
+	})
+	routed := testing.AllocsPerRun(100, func() {
+		r.TopK(x1, x2, k)
+	})
+	if routed > direct {
+		t.Fatalf("routed TopK allocates %.1f/op vs %.1f/op for the bare Index.Query; the router layer must add zero", routed, direct)
+	}
+}

@@ -27,7 +27,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 	"sync/atomic"
 
@@ -54,15 +53,31 @@ type topology struct {
 }
 
 // locate returns the index of the shard covering x.
+//
+// The binary search is hand-rolled with sort.Search's exact
+// semantics (smallest i with the predicate true): sort.Search takes
+// the predicate as a closure, and a closure is a static allocation
+// site the //topk:nomalloc contract bans — locate runs on every
+// routed read.
+//
+//topk:nomalloc
 func (t *topology) locate(x float64) int {
 	// First shard with hi > x; lows are contiguous so this is the cover.
 	// x = +Inf matches no half-open range and is clamped to the last
 	// shard (the same defensive treatment a single Index gives it).
-	i := sort.Search(len(t.shards), func(i int) bool { return x < t.shards[i].hi })
-	if i == len(t.shards) {
-		i--
+	lo, hi := 0, len(t.shards)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if x < t.shards[mid].hi {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
 	}
-	return i
+	if lo == len(t.shards) {
+		lo--
+	}
+	return lo
 }
 
 // publish installs a new snapshot built from the given shard slice and
@@ -136,6 +151,8 @@ func (r *Router) WatchEpoch(ctx context.Context) <-chan uint64 {
 
 // snapshot pins the current topology. The returned value is immutable;
 // per-shard mutexes still guard each shard's machine.
+//
+//topk:nomalloc
 func (r *Router) snapshot() *topology { return r.topo.Load() }
 
 // Epoch returns the current topology epoch — it increments on every
