@@ -7,7 +7,7 @@
 #   make ci-analysis   full gate: analysis + staticcheck + govulncheck
 #   make gate-negative plant violations in a scratch copy, assert the
 #                      allocation/atomics gates actually fail
-#   make benchgate     full e15/e17/e18 run, diffed against the
+#   make benchgate     full e15/e17/e18/e19 run, diffed against the
 #                      committed BENCH_*.json baselines
 #   make fuzz-smoke    10s per fuzz target, crashers fail the run
 #
@@ -70,19 +70,28 @@ analysis: fmt-check vet topkvet escapecheck
 gate-negative:
 	sh scripts/gate_negative.sh
 
-# Bench regression gate: run the three serving-layer experiments in
+# Bench regression gate: run the four serving-layer experiments in
 # full mode into a scratch dir and diff against the committed
-# baselines. Budgets (25% qps drop, 10%+0.5 allocs/op) absorb
-# hardware noise; allocs/op growth is the signal that matters.
+# baselines. Wall-clock qps on a small shared-core container swings
+# with host load by tens of percent across EVERY experiment (measured
+# over a day: uniform 0.7-1.0x ratios with identical allocs), so the
+# qps budgets are wide — 50% for the in-process benches, 60% for the
+# HTTP-fleet ones — and catch only collapse-class regressions (a lost
+# amortization, a serialized fan-out). The tight signal is allocs/op
+# (10%+0.5 budget): hardware-independent, stable to a fraction of a
+# percent run to run, and a single new allocation on a hot path
+# fails it even when throughput looks fine.
 BENCH_FRESH_DIR := $(or $(RUNNER_TEMP),/tmp)/topk-bench-fresh
 benchgate:
 	mkdir -p $(BENCH_FRESH_DIR)
 	go run ./cmd/topkbench -exp e15 -json -out $(BENCH_FRESH_DIR)
 	go run ./cmd/topkbench -exp e17 -json -out $(BENCH_FRESH_DIR)
 	go run ./cmd/topkbench -exp e18 -json -out $(BENCH_FRESH_DIR)
-	go run ./cmd/topkvet benchgate -baseline BENCH_e15.json -fresh $(BENCH_FRESH_DIR)/BENCH_e15.json
-	go run ./cmd/topkvet benchgate -baseline BENCH_e17.json -fresh $(BENCH_FRESH_DIR)/BENCH_e17.json
-	go run ./cmd/topkvet benchgate -baseline BENCH_e18.json -fresh $(BENCH_FRESH_DIR)/BENCH_e18.json
+	go run ./cmd/topkbench -exp e19 -json -out $(BENCH_FRESH_DIR)
+	go run ./cmd/topkvet benchgate -baseline BENCH_e15.json -fresh $(BENCH_FRESH_DIR)/BENCH_e15.json -max-qps-drop 0.5
+	go run ./cmd/topkvet benchgate -baseline BENCH_e17.json -fresh $(BENCH_FRESH_DIR)/BENCH_e17.json -max-qps-drop 0.5
+	go run ./cmd/topkvet benchgate -baseline BENCH_e18.json -fresh $(BENCH_FRESH_DIR)/BENCH_e18.json -max-qps-drop 0.6
+	go run ./cmd/topkvet benchgate -baseline BENCH_e19.json -fresh $(BENCH_FRESH_DIR)/BENCH_e19.json -max-qps-drop 0.6
 
 staticcheck:
 	@command -v staticcheck >/dev/null 2>&1 || { \

@@ -55,15 +55,27 @@ func benchRun(exp, name string, f func() workload.Throughput) workload.Throughpu
 	if ops < 1 {
 		ops = 1
 	}
+	benchRecord(exp, name, res, float64(m1.Mallocs-m0.Mallocs)/float64(ops))
+	return res
+}
+
+// benchRecord appends one already-measured row. Experiments that
+// interleave several measurements (so one MemStats bracket cannot
+// isolate a row — e19) measure their own Mallocs delta and record
+// through this.
+func benchRecord(exp, name string, res workload.Throughput, allocsPerOp float64) {
+	ops := res.Ops
+	if ops < 1 {
+		ops = 1
+	}
 	benchRows[exp] = append(benchRows[exp], benchRow{
 		Name:        name,
 		Goroutines:  res.Goroutines,
 		Ops:         res.Ops,
 		QPS:         res.QPS(),
 		NsPerOp:     float64(res.Elapsed.Nanoseconds()) / float64(ops),
-		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		AllocsPerOp: allocsPerOp,
 	})
-	return res
 }
 
 // writeBench writes BENCH_<exp>.json into outDir when -json is set

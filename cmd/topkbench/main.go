@@ -44,10 +44,11 @@ var experiments = []experiment{
 	{"e16", "Shard lifecycle: delete-churn qps and shard count, merges on vs off", e16},
 	{"e17", "Snapshot routing: read qps under concurrent writers, snapshot vs rlock", e17},
 	{"e18", "Cluster tier: gateway scatter-gather qps vs node count, vs direct-local", e18},
+	{"e19", "Write path: single-op insert qps, group commit on vs off, cluster tier", e19},
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (e1..e18); empty = all")
+	exp := flag.String("exp", "", "experiment id (e1..e19); empty = all")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	jsonFlag := flag.Bool("json", false, "also write BENCH_<exp>.json rows (qps, ns/op, allocs/op) for the serving-layer experiments")
 	out := flag.String("out", ".", "directory for BENCH_<exp>.json files")

@@ -9,6 +9,14 @@
 //	> count 0 1000
 //	> stats
 //	> help
+//
+// With -bulk W the preload drives the group-commit write path instead
+// of direct sequential inserts: W concurrent workers push single-op
+// writes through a topk.Batched wrapper (the same layer topkd mounts
+// behind -batch-window), and the shell prints the achieved write qps
+// plus the batcher's group statistics. Shell insert/delete then keep
+// flowing through the batched store, so the feature is live-drivable
+// without writing a load generator.
 package main
 
 import (
@@ -18,8 +26,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	topk "repro"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -27,6 +38,7 @@ func main() {
 	n := flag.Int("n", 10000, "synthetic points to preload")
 	b := flag.Int("B", 64, "block size in words")
 	seed := flag.Int64("seed", 1, "workload seed")
+	bulk := flag.Int("bulk", 0, "preload through the group-commit write path with this many concurrent workers (0 = sequential direct inserts)")
 	flag.Parse()
 
 	idx, err := topk.New(topk.Config{BlockWords: *b, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
@@ -35,14 +47,55 @@ func main() {
 		os.Exit(1)
 	}
 	gen := workload.NewGen(*seed)
-	for _, p := range gen.Uniform(*n, 1e6) {
-		if err := idx.Insert(p.X, p.Score); err != nil {
-			fmt.Fprintf(os.Stderr, "preload: %v\n", err)
+	pts := gen.Uniform(*n, 1e6)
+
+	// st is what the shell talks to: the bare Index, or — with -bulk —
+	// the batched store over it (an Index is sequential, so the batcher
+	// flushes through a one-mutex guard; the win here is the grouped
+	// flush amortizing the per-op overhead, and having the path live).
+	var st topk.Store = idx
+	if *bulk > 0 {
+		bt, err := topk.NewBatched(serve.LockedIndex(idx), topk.BatchedConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		defer bt.Close()
+		st = bt
+		start := time.Now()
+		var wg sync.WaitGroup
+		var rejected sync.Map
+		for w := 0; w < *bulk; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(pts); i += *bulk {
+					if err := bt.Insert(pts[i].X, pts[i].Score); err != nil {
+						rejected.Store(i, err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		var nrej int
+		rejected.Range(func(k, v any) bool { nrej++; return true })
+		if nrej > 0 {
+			fmt.Fprintf(os.Stderr, "bulk preload: %d rejected\n", nrej)
+		}
+		el := time.Since(start)
+		s := bt.BatcherStats()
+		fmt.Printf("bulk preload: %d points, %d workers, %.0f writes/s (%d groups, max group %d)\n",
+			len(pts)-nrej, *bulk, float64(len(pts))/el.Seconds(), s.Flushes, s.MaxGroup)
+	} else {
+		for _, p := range pts {
+			if err := idx.Insert(p.X, p.Score); err != nil {
+				fmt.Fprintf(os.Stderr, "preload: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 	fmt.Printf("loaded %d points (B=%d, k-threshold %d, %s)\n",
-		idx.Len(), idx.BlockSize(), idx.KThreshold(), idx.Regime())
+		st.Len(), idx.BlockSize(), idx.KThreshold(), idx.Regime())
 	fmt.Println(`commands: top x1 x2 k | count x1 x2 | insert x score | delete x score | stats | reset | quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -61,12 +114,17 @@ func main() {
 		case "help":
 			fmt.Println("top x1 x2 k | count x1 x2 | insert x score | delete x score | stats | reset | quit")
 		case "stats":
-			s := idx.Stats()
+			s := st.Stats()
 			fmt.Printf("reads=%d writes=%d live=%d peak=%d n=%d\n",
-				s.Reads, s.Writes, s.BlocksLive, s.BlocksPeak, idx.Len())
+				s.Reads, s.Writes, s.BlocksLive, s.BlocksPeak, st.Len())
+			if bs, ok := st.(interface{ BatcherStats() topk.BatcherStats }); ok {
+				b := bs.BatcherStats()
+				fmt.Printf("batcher: ops=%d groups=%d max_group=%d pending=%d\n",
+					b.Ops, b.Flushes, b.MaxGroup, b.Pending)
+			}
 		case "reset":
-			idx.ResetStats()
-			idx.DropCache()
+			st.ResetStats()
+			st.DropCache()
 			fmt.Println("meter reset, cache dropped")
 		case "top":
 			args, err := floats(fields[1:], 3)
@@ -74,9 +132,9 @@ func main() {
 				fmt.Println("usage: top x1 x2 k")
 				continue
 			}
-			before := idx.Stats()
-			res := idx.TopK(args[0], args[1], int(args[2]))
-			after := idx.Stats()
+			before := st.Stats()
+			res := st.TopK(args[0], args[1], int(args[2]))
+			after := st.Stats()
 			for i, r := range res {
 				fmt.Printf("%3d. x=%.4f score=%.4f\n", i+1, r.X, r.Score)
 			}
@@ -87,14 +145,14 @@ func main() {
 				fmt.Println("usage: count x1 x2")
 				continue
 			}
-			fmt.Println(idx.Count(args[0], args[1]))
+			fmt.Println(st.Count(args[0], args[1]))
 		case "insert":
 			args, err := floats(fields[1:], 2)
 			if err != nil {
 				fmt.Println("usage: insert x score")
 				continue
 			}
-			if err := idx.Insert(args[0], args[1]); err != nil {
+			if err := st.Insert(args[0], args[1]); err != nil {
 				fmt.Printf("rejected: %v\n", err)
 			} else {
 				fmt.Println("ok")
@@ -105,7 +163,7 @@ func main() {
 				fmt.Println("usage: delete x score")
 				continue
 			}
-			fmt.Println(idx.Delete(args[0], args[1]))
+			fmt.Println(st.Delete(args[0], args[1]))
 		default:
 			fmt.Printf("unknown command %q (try help)\n", fields[0])
 		}

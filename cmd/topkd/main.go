@@ -81,6 +81,9 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "log requests at least this slow at warn level (0 disables)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "log level: debug | info | warn | error (per-request logs are debug)")
+	batchWindow := flag.Duration("batch-window", 0, "group-commit window: coalesce concurrent single-op writes into ApplyBatch groups flushed after at most this long (0 disables batching unless -async-ack)")
+	batchMax := flag.Int("batch-max", 0, "group-commit size trigger: flush a pending group at this many ops without waiting the window (0 = 256)")
+	asyncAck := flag.Bool("async-ack", false, "acknowledge writes with 202 Accepted + a pollable /v1/outcome/{id} instead of waiting for the group commit (implies batching)")
 	flag.Parse()
 
 	level, err := parseLevel(*logLevel)
@@ -135,6 +138,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("topkd: %v", err)
 	}
+	// Group-commit write path: wrap the store so concurrent single-op
+	// writes coalesce into ApplyBatch groups. -async-ack implies
+	// batching (a 202 needs somewhere to park the outcome); the window
+	// then defaults inside NewBatched.
+	if *batchWindow > 0 || *batchMax > 0 || *asyncAck {
+		st, err = topk.NewBatched(st, topk.BatchedConfig{
+			Window:   *batchWindow,
+			MaxBatch: *batchMax,
+		})
+		if err != nil {
+			log.Fatalf("topkd: batcher: %v", err)
+		}
+		opts.AsyncAck = *asyncAck
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("topkd: %v", err)
@@ -160,6 +177,9 @@ func main() {
 		slog.Float64("trace_sample", *traceSample),
 		slog.Duration("slow_query", *slowQuery),
 		slog.Bool("pprof", *pprofFlag),
+		slog.Duration("batch_window", *batchWindow),
+		slog.Int("batch_max", *batchMax),
+		slog.Bool("async_ack", *asyncAck),
 	)
 	if err := serveLoop(ctx, &http.Server{Handler: h}, ln, *drain, tel, logger); err != nil {
 		log.Fatalf("topkd: %v", err)

@@ -839,3 +839,65 @@ func TestGatewayEndToEnd(t *testing.T) {
 		t.Fatalf("metrics missing cluster gauges:\n%s", text)
 	}
 }
+
+// TestShutdownFlushesAcceptedWrites pins the drain contract of the
+// group-commit write path: writes acknowledged with 202 before
+// "SIGTERM" must be committed by the post-drain store Close — exactly
+// main's shutdown sequence — even when the batching window and size
+// trigger are far too large to have fired on their own. No
+// accepted-then-dropped writes.
+func TestShutdownFlushesAcceptedWrites(t *testing.T) {
+	inner := newTestStore(t, "sharded")
+	bt, err := topk.NewBatched(inner, topk.BatchedConfig{
+		Window:   time.Hour, // only shutdown may flush
+		MaxBatch: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := serve.New(bt, serve.Options{AsyncAck: true})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- serveLoop(ctx, &http.Server{Handler: h}, ln, 5*time.Second, nil, nil) }()
+
+	// Part-fill the stripes: a handful of accepted writes, nowhere near
+	// either flush trigger.
+	const writes = 7
+	base := "http://" + ln.Addr().String()
+	for i := 0; i < writes; i++ {
+		body := fmt.Sprintf(`{"x": %d, "score": %d}`, 100+i, 200+i)
+		resp, err := http.Post(base+"/v1/insert", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("write %d: status %d, want 202", i, resp.StatusCode)
+		}
+	}
+	if got := inner.Len(); got != 0 {
+		t.Fatalf("inner store has %d points before shutdown; the flush triggers fired early", got)
+	}
+
+	cancel() // "SIGTERM"
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveLoop did not drain")
+	}
+	// main closes the store after the drain; Batched.Close flushes the
+	// part-filled stripes into the inner store first.
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.Len(); got != writes {
+		t.Fatalf("after shutdown flush: inner store has %d points, want %d (accepted writes dropped)", got, writes)
+	}
+}

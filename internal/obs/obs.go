@@ -78,7 +78,7 @@ var endpointLabels = map[string]bool{
 	"insert": true, "delete": true, "batch": true, "topk": true,
 	"count": true, "epoch": true, "range": true, "stats": true,
 	"stats_reset": true, "cache_drop": true, "metrics": true,
-	"trace": true,
+	"trace": true, "outcome": true,
 }
 
 // EndpointLabel normalizes a request path to its histogram label:

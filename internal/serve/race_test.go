@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled gates allocation-count assertions: the race detector
+// instruments allocations and makes sync.Pool deliberately drop items
+// to expose misuse, so AllocsPerRun deltas are meaningless under it.
+const raceEnabled = true

@@ -20,6 +20,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -27,6 +28,7 @@ import (
 	"log"
 	"log/slog"
 	"math"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -53,6 +55,20 @@ type Options struct {
 	// Telemetry (discard logger, header-only tracing), so telemetry is
 	// always on; cmd/topkd supplies one built from its flags.
 	Obs *obs.Telemetry
+
+	// AsyncAck switches /v1/insert and /v1/delete to asynchronous
+	// acknowledgement: the write is enqueued into the store's batcher
+	// and answered immediately with 202 Accepted plus an outcome ID the
+	// client can poll at GET /v1/outcome/{id}. Requires the Store to
+	// expose the submit surface (topk.Batched does); ignored otherwise,
+	// so a misconfigured process degrades to correct sync serving
+	// rather than failing writes.
+	AsyncAck bool
+
+	// OutcomeCap bounds the async outcome ring: the newest OutcomeCap
+	// submissions stay queryable, older ones are evicted (a poll for an
+	// evicted ID is a 404, like an evicted trace). 0 means 4096.
+	OutcomeCap int
 }
 
 // banded reports whether a member band was configured.
@@ -107,14 +123,28 @@ type batchItem struct {
 	Results []resultJSON `json:"results,omitempty"`
 }
 
+// asyncWriter is the submit surface of a group-commit store
+// (topk.Batched): enqueue a write, get a pollable outcome future.
+type asyncWriter interface {
+	SubmitInsert(pos, score float64) topk.Future
+	SubmitDelete(pos, score float64) topk.Future
+}
+
 // New returns the handler tree over st. Handlers use only the
 // topk.Store interface; Sharded- or Cluster-specific introspection is
-// probed through optional interfaces.
+// probed through optional interfaces (seen through batching wrappers
+// via their Unwrap — see probe).
 func New(st topk.Store, opt Options) http.Handler {
 	t := opt.Obs
 	if t == nil {
 		t = obs.New(obs.Options{})
 	}
+	// Async-ack needs somewhere to enqueue: the store's own submit
+	// surface, probed on the outer store (the batcher is the wrapper
+	// itself, never an inner layer).
+	aw, _ := st.(asyncWriter)
+	asyncAck := opt.AsyncAck && aw != nil
+	outcomes := newOutcomeRing(opt.OutcomeCap)
 	mux := http.NewServeMux()
 
 	// writeJSON logs encode failures (a client gone mid-response,
@@ -144,6 +174,16 @@ func New(st topk.Store, opt Options) http.Handler {
 				"score %v outside this member's band [%v, %v)", req.Score, opt.Lo, opt.Hi)
 			return
 		}
+		if asyncAck {
+			// Async-ack mode: enqueue into the batcher and answer 202
+			// with a pollable outcome ID. The band check above already
+			// ran — a misrouted write still fails loudly and
+			// synchronously; only in-band writes are deferred.
+			f := func() topk.Future { defer t.TimeOp("insert")(); return aw.SubmitInsert(req.X, req.Score) }()
+			writeJSONStatus(w, http.StatusAccepted,
+				map[string]any{"accepted": true, "outcome": outcomes.add(f)}, t.Log)
+			return
+		}
 		// Insert is atomic check-and-insert under the shard lock, so
 		// concurrent duplicates race to one 200 and one 409 — and a
 		// duplicate score anywhere in the fleet is a 409 too.
@@ -160,6 +200,12 @@ func New(st topk.Store, opt Options) http.Handler {
 		var req pointReq
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
+			return
+		}
+		if asyncAck {
+			f := func() topk.Future { defer t.TimeOp("delete")(); return aw.SubmitDelete(req.X, req.Score) }()
+			writeJSONStatus(w, http.StatusAccepted,
+				map[string]any{"accepted": true, "outcome": outcomes.add(f)}, t.Log)
 			return
 		}
 		st := bindStore(st, r)
@@ -236,7 +282,7 @@ func New(st topk.Store, opt Options) http.Handler {
 	// endpoint stays probeable on every backend.
 	handleV1("GET", "/epoch", func(w http.ResponseWriter, r *http.Request) {
 		var e int64
-		if ep, ok := st.(interface{ Epoch() int64 }); ok {
+		if ep, ok := probe[interface{ Epoch() int64 }](st); ok {
 			e = ep.Epoch()
 		}
 		writeJSON(w, map[string]any{"epoch": e})
@@ -275,6 +321,29 @@ func New(st topk.Store, opt Options) http.Handler {
 		writeJSON(w, tr.Tree())
 	})
 
+	// The outcome of an async-acked write, by the ID the 202 response
+	// carried. Outcomes live in a bounded ring like traces, so a 404
+	// means "unknown or already evicted". A resolved outcome reports
+	// done plus either ok or the same structured error the synchronous
+	// endpoint would have returned — error fidelity survives the 202.
+	handleV1("GET", "/outcome/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f, ok := outcomes.get(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "outcome_not_found",
+				"no outcome %q (unknown, or evicted from the ring)", r.PathValue("id"))
+			return
+		}
+		if !f.Ready() {
+			writeJSON(w, map[string]any{"done": false})
+			return
+		}
+		if err := f.Err(); err != nil {
+			writeJSON(w, map[string]any{"done": true, "ok": false, "error": toErrJSON(err)})
+			return
+		}
+		writeJSON(w, map[string]any{"done": true, "ok": true})
+	})
+
 	// Administrative twins of Store.ResetStats/DropCache, so remote
 	// operators (and the Cluster client, which must implement the full
 	// Store contract over the wire) can reach them.
@@ -306,30 +375,37 @@ func New(st topk.Store, opt Options) http.Handler {
 		metric("topkd_io_writes_total", "counter", "Block writes charged by the simulated EM disks (retired disks included).", s.Writes)
 		metric("topkd_blocks_live", "gauge", "Disk blocks currently occupied fleet-wide.", s.BlocksLive)
 		metric("topkd_blocks_peak", "gauge", "High-water mark of the fleet-wide live-block total.", s.BlocksPeak)
-		if sh, ok := st.(interface{ NumShards() int }); ok {
+		if sh, ok := probe[interface{ NumShards() int }](st); ok {
 			metric("topkd_shards", "gauge", "Current shard count.", int64(sh.NumShards()))
 		}
-		if lc, ok := st.(interface {
+		if lc, ok := probe[interface {
 			Splits() int64
 			Merges() int64
-		}); ok {
+		}](st); ok {
 			metric("topkd_shard_splits_total", "counter", "Automatic shard splits since startup.", lc.Splits())
 			metric("topkd_shard_merges_total", "counter", "Automatic shard merges since startup.", lc.Merges())
 		}
-		if ep, ok := st.(interface{ Epoch() int64 }); ok {
+		if bs, ok := st.(interface{ BatcherStats() topk.BatcherStats }); ok {
+			s := bs.BatcherStats()
+			metric("topkd_ingest_flushes_total", "counter", "Write groups committed by the ingest batcher.", s.Flushes)
+			metric("topkd_ingest_ops_total", "counter", "Single-op writes committed through the ingest batcher.", s.Ops)
+			metric("topkd_ingest_group_max", "gauge", "Largest single group the ingest batcher has committed.", s.MaxGroup)
+			metric("topkd_ingest_pending", "gauge", "Writes enqueued in the ingest batcher and not yet committed.", s.Pending)
+		}
+		if ep, ok := probe[interface{ Epoch() int64 }](st); ok {
 			// A gauge, not a counter: it tracks the snapshot version,
 			// which also advances on stats resets, not only on
 			// split/merge/rebalance lifecycle events.
 			metric("topkd_topology_epoch", "gauge", "Topology snapshot version; increments on every snapshot publish (splits, merges, rebalances, stats resets).", ep.Epoch())
 		}
-		if cl, ok := st.(interface {
+		if cl, ok := probe[interface {
 			Nodes() int
 			Ejected() int
-		}); ok {
+		}](st); ok {
 			metric("topkd_cluster_nodes", "gauge", "Member nodes configured in the cluster.", int64(cl.Nodes()))
 			metric("topkd_cluster_nodes_ejected", "gauge", "Member nodes currently ejected by the health checker.", int64(cl.Ejected()))
 		}
-		if rf, ok := st.(interface{ ReadFailovers() int64 }); ok {
+		if rf, ok := probe[interface{ ReadFailovers() int64 }](st); ok {
 			metric("topkd_cluster_read_failovers_total", "counter", "Reads retried on a replica after the preferred member failed.", rf.ReadFailovers())
 		}
 		metric("topkd_http_in_flight_requests", "gauge", "Requests currently inside the serving middleware.", t.InFlight())
@@ -337,7 +413,7 @@ func New(st topk.Store, opt Options) http.Handler {
 			"Request latency by endpoint.", "endpoint", t.HTTP)
 		obs.WriteHistogramVec(&b, "topkd_store_op_duration_seconds",
 			"Store operation latency by op.", "op", t.Ops)
-		if rv, ok := st.(interface{ RPCDurations() *obs.Vec }); ok {
+		if rv, ok := probe[interface{ RPCDurations() *obs.Vec }](st); ok {
 			obs.WriteHistogramVec(&b, "topkd_cluster_rpc_duration_seconds",
 				"Member RPC latency by member address, as seen by this gateway's cluster client.", "member", rv.RPCDurations())
 		}
@@ -355,25 +431,35 @@ func New(st topk.Store, opt Options) http.Handler {
 			"blocks_live": s.BlocksLive,
 			"blocks_peak": s.BlocksPeak,
 		}
-		if sh, ok := st.(interface{ NumShards() int }); ok {
+		if sh, ok := probe[interface{ NumShards() int }](st); ok {
 			out["shards"] = sh.NumShards()
 		}
 		// Shard-lifecycle counters: how many automatic splits and
 		// delete-triggered merges the router has performed.
-		if lc, ok := st.(interface {
+		if lc, ok := probe[interface {
 			Splits() int64
 			Merges() int64
-		}); ok {
+		}](st); ok {
 			out["splits"] = lc.Splits()
 			out["merges"] = lc.Merges()
 		}
 		// Cluster introspection: node counts on a gateway.
-		if cl, ok := st.(interface {
+		if cl, ok := probe[interface {
 			Nodes() int
 			Ejected() int
-		}); ok {
+		}](st); ok {
 			out["nodes"] = cl.Nodes()
 			out["ejected"] = cl.Ejected()
+		}
+		// Group-commit counters when the store batches writes.
+		if bs, ok := st.(interface{ BatcherStats() topk.BatcherStats }); ok {
+			s := bs.BatcherStats()
+			out["batcher"] = map[string]any{
+				"flushes":   s.Flushes,
+				"ops":       s.Ops,
+				"max_group": s.MaxGroup,
+				"pending":   s.Pending,
+			}
 		}
 		// Latency quantiles per endpoint, estimated from the same
 		// histograms /v1/metrics exports raw (so p99 here is within one
@@ -397,6 +483,65 @@ func New(st topk.Store, opt Options) http.Handler {
 	// middleware, so a panicking handler still records its latency, its
 	// 500 status and its request log.
 	return t.Middleware(WithRecover(mux))
+}
+
+// probe type-asserts st against an optional introspection interface,
+// unwrapping batching (or future) decorators along the way: a
+// topk.Batched over a Sharded must not hide the shard counters from
+// /v1/stats just because a wrapper sits in front. The outer store wins
+// when both layers implement T.
+func probe[T any](st topk.Store) (T, bool) {
+	for st != nil {
+		if v, ok := st.(T); ok {
+			return v, true
+		}
+		u, ok := st.(interface{ Unwrap() topk.Store })
+		if !ok {
+			break
+		}
+		st = u.Unwrap()
+	}
+	var zero T
+	return zero, false
+}
+
+// outcomeRing is the bounded registry of async-acked write outcomes,
+// the same eviction shape as the trace ring: the newest cap entries
+// stay queryable, older ones age out.
+type outcomeRing struct {
+	mu  sync.Mutex
+	cap int
+	ids []string // insertion order, oldest first
+	m   map[string]topk.Future
+}
+
+func newOutcomeRing(cap int) *outcomeRing {
+	if cap <= 0 {
+		cap = 4096
+	}
+	return &outcomeRing{cap: cap, m: make(map[string]topk.Future, cap)}
+}
+
+// add registers f and returns its outcome ID, evicting the oldest
+// entry when the ring is full.
+func (g *outcomeRing) add(f topk.Future) string {
+	id := fmt.Sprintf("%016x", rand.Uint64())
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.ids) >= g.cap {
+		delete(g.m, g.ids[0])
+		g.ids = g.ids[1:]
+	}
+	g.ids = append(g.ids, id)
+	g.m[id] = f
+	return id
+}
+
+func (g *outcomeRing) get(id string) (topk.Future, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f, ok := g.m[id]
+	return f, ok
 }
 
 // bindStore gives st the request's context when the backend can carry
@@ -554,13 +699,53 @@ func queryInt(r *http.Request, key string) (int, error) {
 	return strconv.Atoi(r.URL.Query().Get(key))
 }
 
-// writeJSONLog renders v as the response body, logging encode failures
-// (a vanished client, an unencodable value) through the structured
-// logger rather than dropping them.
+// encBuf is a pooled response-encode buffer with a json.Encoder bound
+// to it once — the encoder itself allocates on construction, so the
+// pool holds the pair, not just the bytes.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &encBuf{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// encPoolMax caps what goes back in the pool: one giant response (a
+// full topk dump) must not pin its buffer for the life of the process.
+const encPoolMax = 64 << 10
+
+// writeJSONLog renders v as the response body through a pooled
+// buffer+encoder, logging failures (a vanished client, an unencodable
+// value) through the structured logger rather than dropping them.
+// Encoding into the buffer first also means an encode error cannot
+// leave a half-written 200 on the wire.
 func writeJSONLog(w http.ResponseWriter, v any, log *slog.Logger) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	writeJSONStatus(w, 0, v, log)
+}
+
+// writeJSONStatus is writeJSONLog with an explicit status code (0
+// means the default 200) — the async-ack path answers 202.
+func writeJSONStatus(w http.ResponseWriter, status int, v any, log *slog.Logger) {
+	e := encPool.Get().(*encBuf)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		encPool.Put(e)
 		log.Error("response encode failed", slog.String("err", err.Error()))
+		httpError(w, http.StatusInternalServerError, "internal", "response encode failed")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if status != 0 {
+		w.WriteHeader(status)
+	}
+	if _, err := w.Write(e.buf.Bytes()); err != nil {
+		log.Error("response write failed", slog.String("err", err.Error()))
+	}
+	if e.buf.Cap() <= encPoolMax {
+		encPool.Put(e)
 	}
 }
 
