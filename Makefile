@@ -10,6 +10,8 @@
 #   make benchgate     full e15/e17/e18/e19 run, diffed against the
 #                      committed BENCH_*.json baselines
 #   make fuzz-smoke    10s per fuzz target, crashers fail the run
+#   make fleet-smoke   boot a real 3-member fleet + gateway, assert
+#                      stitched traces and federated metrics end to end
 #
 # staticcheck and govulncheck are external, version-pinned tools;
 # `make tools` installs them (needs network once). The offline targets
@@ -23,7 +25,7 @@ GOBIN := $(shell go env GOPATH)/bin
 
 .PHONY: all check build test race fmt-check vet topkvet escapecheck \
 	analysis gate-negative benchgate staticcheck govulncheck \
-	ci-analysis fuzz-smoke tools
+	ci-analysis fuzz-smoke fleet-smoke tools
 
 all: check analysis
 
@@ -111,6 +113,11 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzParseRange -fuzztime=$(FUZZTIME) ./cmd/topkd
 	go test -run='^$$' -fuzz=FuzzTopKQuery -fuzztime=$(FUZZTIME) ./internal/serve
 	go test -run='^$$' -fuzz=FuzzBatchJSON -fuzztime=$(FUZZTIME) ./internal/serve
+
+# Process-level observability smoke: real listeners, real scrapes —
+# what the in-process httptest suites can't exercise.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
 
 # Pinned installs, skipped when the binary is already on PATH (the CI
 # cache restores $(GOBIN) keyed on this Makefile).

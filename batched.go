@@ -34,6 +34,11 @@ type BatchedConfig struct {
 	// MaxPending is the backpressure bound: a producer observing more
 	// pending ops tries to drive a commit itself. 0 means 4×MaxBatch.
 	MaxPending int
+	// DisableTelemetry turns off the batcher's write-path telemetry
+	// (group-size/flush-latency histograms, flush-reason counters).
+	// Exists so the instrumentation-overhead experiment (e15) can
+	// difference the two configurations; serving always leaves it on.
+	DisableTelemetry bool
 }
 
 // BatcherStats snapshots the group-commit counters of a Batched store.
@@ -112,11 +117,12 @@ func NewBatched(st Store, cfg BatchedConfig) (*Batched, error) {
 	}
 	bt := &Batched{inner: st}
 	bt.b = ingest.New(ingest.Options{
-		Flush:      bt.flush,
-		MaxBatch:   cfg.MaxBatch,
-		Window:     cfg.Window,
-		Stripes:    cfg.Stripes,
-		MaxPending: cfg.MaxPending,
+		Flush:            bt.flush,
+		MaxBatch:         cfg.MaxBatch,
+		Window:           cfg.Window,
+		Stripes:          cfg.Stripes,
+		MaxPending:       cfg.MaxPending,
+		DisableTelemetry: cfg.DisableTelemetry,
 	})
 	return bt, nil
 }
@@ -205,6 +211,11 @@ func (bt *Batched) BatcherStats() BatcherStats {
 	s := bt.b.Stats()
 	return BatcherStats{Flushes: s.Flushes, Ops: s.Ops, MaxGroup: s.MaxGroup, Pending: s.Pending}
 }
+
+// IngestTelemetry returns the batcher's write-path telemetry — group
+// sizes, flush latency, flush-reason counters, backpressure waits.
+// The serving layer probes this to export the topkd_ingest_* families.
+func (bt *Batched) IngestTelemetry() *ingest.Telemetry { return bt.b.Telemetry() }
 
 // Unwrap returns the inner store, so serving-layer probes for
 // backend-specific surface (NumShards, Epoch, Nodes, ...) see through

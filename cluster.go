@@ -3,6 +3,7 @@ package topk
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -42,6 +43,10 @@ type ClusterConfig struct {
 	EjectFor   time.Duration
 	// Transport overrides the pooled HTTP transport (tests).
 	Transport http.RoundTripper
+	// Logger receives structured health events — member ejected /
+	// recovered, with node address, consecutive failures and the eject
+	// deadline. Nil discards.
+	Logger *slog.Logger
 }
 
 // Cluster is the distributed serving tier behind the Store interface:
@@ -82,6 +87,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		EjectAfter:     cfg.EjectAfter,
 		EjectFor:       cfg.EjectFor,
 		Transport:      cfg.Transport,
+		Logger:         cfg.Logger,
 	})
 	if err != nil {
 		return nil, err
@@ -197,6 +203,29 @@ func (c *Cluster) ReadFailovers() int64 { return c.c.ReadFailovers() }
 // by this gateway's client, keyed by member address. The serving layer
 // probes this to export topkd_cluster_rpc_duration_seconds.
 func (c *Cluster) RPCDurations() *obs.Vec { return c.c.RPCDurations() }
+
+// Ejections returns how many ejection episodes the health checker has
+// begun (healthy→ejected transitions, not window extensions).
+func (c *Cluster) Ejections() int64 { return c.c.Ejections() }
+
+// Recoveries returns how many ejection episodes ended with the member
+// answering again.
+func (c *Cluster) Recoveries() int64 { return c.c.Recoveries() }
+
+// ScrapeMetrics fetches every reachable member's raw /v1/metrics page
+// in parallel, returning the pages plus the total configured member
+// count. The serving layer probes this to build a gateway's
+// /v1/metrics/fleet federation.
+func (c *Cluster) ScrapeMetrics(ctx context.Context) ([]obs.MetricsPage, int) {
+	return c.c.ScrapeMetrics(ctx)
+}
+
+// FetchTrace fetches the member at addr's finished span tree for the
+// given trace ID — the fan-out leg of the gateway's stitched
+// /v1/trace/{id}.
+func (c *Cluster) FetchTrace(ctx context.Context, addr, id string) (obs.TraceJSON, error) {
+	return c.c.FetchTrace(ctx, addr, id)
+}
 
 // WithContext returns a Store view of the cluster whose operations
 // carry ctx down to every member RPC — deadline, cancellation and any

@@ -9,13 +9,18 @@ package topk_test
 // Sharded ≡ Index suite.
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -537,4 +542,106 @@ func TestClusterConcurrentChurn(t *testing.T) {
 		t.Fatalf("healthy fleet reports %d ejected nodes", ej)
 	}
 	_ = fmt.Sprintf("%s", cl) // String must not race either
+}
+
+// logSink is a goroutine-safe log buffer (the health prober logs from
+// its own goroutine).
+type logSink struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logSink) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logSink) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestClusterEjectionRecoveryEpisodes: the ejections/recoveries
+// counters track episodes, not probe failures — one bump per
+// healthy→ejected transition (window extensions and post-expiry
+// re-ejections during the same outage do not count), one per
+// ejected→answering transition — and each transition emits a
+// structured log event naming the node.
+func TestClusterEjectionRecoveryEpisodes(t *testing.T) {
+	pts := uniformResults(101, 500, 1e6)
+	st, err := topk.LoadSharded(topk.ShardedConfig{Config: testClusterCfg(), Shards: 2}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down atomic.Bool
+	inner := serve.New(st, serve.Options{Lo: math.Inf(-1), Hi: math.Inf(1)})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "induced outage", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	var sink logSink
+	cl, err := topk.NewCluster(topk.ClusterConfig{
+		Members:        []string{srv.URL},
+		Timeout:        time.Second,
+		HealthInterval: 5 * time.Millisecond,
+		EjectAfter:     2,
+		EjectFor:       200 * time.Millisecond,
+		Logger:         slog.New(slog.NewTextHandler(&sink, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (ejections=%d recoveries=%d)",
+					desc, cl.Ejections(), cl.Recoveries())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	if cl.Ejections() != 0 || cl.Recoveries() != 0 {
+		t.Fatalf("fresh cluster: ejections=%d recoveries=%d, want 0/0", cl.Ejections(), cl.Recoveries())
+	}
+
+	// Episode 1: outage → ejection.
+	down.Store(true)
+	waitFor("first ejection", func() bool { return cl.Ejections() == 1 })
+	if cl.Ejected() != 1 {
+		t.Errorf("Ejected = %d, want 1 during the outage", cl.Ejected())
+	}
+	// The outage outlives the ejection window; continued failures extend
+	// or renew the window but never open a new episode.
+	time.Sleep(500 * time.Millisecond)
+	if got := cl.Ejections(); got != 1 {
+		t.Fatalf("ejections grew to %d during one continuous outage, want 1", got)
+	}
+
+	// Node answers again: the episode closes.
+	down.Store(false)
+	waitFor("recovery", func() bool { return cl.Recoveries() == 1 })
+	waitFor("ejection cleared", func() bool { return cl.Ejected() == 0 })
+
+	// Episode 2: a second outage is a second ejection.
+	down.Store(true)
+	waitFor("second ejection", func() bool { return cl.Ejections() == 2 })
+
+	log := sink.String()
+	for _, want := range []string{"member ejected", "member recovered", "consecutive_failures", "eject_deadline", srv.URL} {
+		if !strings.Contains(log, want) {
+			t.Errorf("structured log missing %q:\n%s", want, log)
+		}
+	}
 }

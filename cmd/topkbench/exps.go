@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"time"
 
@@ -679,6 +680,41 @@ func e15(quick bool) {
 	overhead := 100 * (off.QPS() - on.QPS()) / off.QPS()
 	fmt.Printf("obs overhead at g=16: off %.0f qps, on %.0f qps (%.1f%% — budget 5%%)\n",
 		off.QPS(), on.QPS(), overhead)
+
+	// Write-path telemetry overhead: the write path topkd mounts —
+	// topk.Batched over a sharded store — driven by 16 concurrent
+	// writers inserting fresh points, telemetry off vs on. Telemetry
+	// costs one value-histogram observation, one latency observation
+	// and one atomic reason increment PER GROUP (not per op), so it
+	// amortizes across the group against the real ApplyBatch flush;
+	// the budget is the same ≤5%. Each leg gets its own backend (same
+	// seed load) and a disjoint fresh key range, so the two runs do
+	// identical insert work.
+	ingestLeg := func(name string, disable bool, base float64) workload.Throughput {
+		backend, err := topk.LoadSharded(topk.ShardedConfig{Config: cfg, Shards: 8}, pts)
+		if err != nil {
+			panic(err)
+		}
+		bt, err := topk.NewBatched(backend, topk.BatchedConfig{DisableTelemetry: disable})
+		if err != nil {
+			panic(err)
+		}
+		defer bt.Close()
+		var seq atomic.Int64
+		return benchRun("e15", name, func() workload.Throughput {
+			return workload.RunConcurrent(g, ops, queries, func(q workload.QuerySpec) {
+				i := float64(seq.Add(1))
+				if err := bt.Insert(base+i, base+i); err != nil {
+					panic(err)
+				}
+			})
+		})
+	}
+	ingOff := ingestLeg("ingest-telemetry off g=16", true, 2e6)
+	ingOn := ingestLeg("ingest-telemetry on g=16", false, 8e6)
+	ingOverhead := 100 * (ingOff.QPS() - ingOn.QPS()) / ingOff.QPS()
+	fmt.Printf("ingest telemetry overhead at g=16: off %.0f qps, on %.0f qps (%.1f%% — budget 5%%)\n",
+		ingOff.QPS(), ingOn.QPS(), ingOverhead)
 }
 
 // ---------------------------------------------------------------- E16

@@ -21,8 +21,12 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	topk "repro"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/workload"
 )
@@ -39,6 +44,7 @@ func main() {
 	b := flag.Int("B", 64, "block size in words")
 	seed := flag.Int64("seed", 1, "workload seed")
 	bulk := flag.Int("bulk", 0, "preload through the group-commit write path with this many concurrent workers (0 = sequential direct inserts)")
+	addr := flag.String("addr", "", "topkd base URL for the remote commands (trace <id>); e.g. localhost:8080")
 	flag.Parse()
 
 	idx, err := topk.New(topk.Config{BlockWords: *b, ForcePolylog: true, PolylogF: 8, PolylogLeafCap: 2048})
@@ -96,7 +102,7 @@ func main() {
 	}
 	fmt.Printf("loaded %d points (B=%d, k-threshold %d, %s)\n",
 		st.Len(), idx.BlockSize(), idx.KThreshold(), idx.Regime())
-	fmt.Println(`commands: top x1 x2 k | count x1 x2 | insert x score | delete x score | stats | reset | quit`)
+	fmt.Println(`commands: top x1 x2 k | count x1 x2 | insert x score | delete x score | stats | reset | trace <id> | quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	for {
@@ -112,7 +118,7 @@ func main() {
 		case "quit", "exit", "q":
 			return
 		case "help":
-			fmt.Println("top x1 x2 k | count x1 x2 | insert x score | delete x score | stats | reset | quit")
+			fmt.Println("top x1 x2 k | count x1 x2 | insert x score | delete x score | stats | reset | trace <id> | quit")
 		case "stats":
 			s := st.Stats()
 			fmt.Printf("reads=%d writes=%d live=%d peak=%d n=%d\n",
@@ -126,6 +132,18 @@ func main() {
 			st.ResetStats()
 			st.DropCache()
 			fmt.Println("meter reset, cache dropped")
+		case "trace":
+			if len(fields) != 2 {
+				fmt.Println("usage: trace <id>    (needs -addr pointing at a topkd)")
+				continue
+			}
+			if *addr == "" {
+				fmt.Println("trace needs -addr pointing at a topkd (e.g. -addr localhost:8080)")
+				continue
+			}
+			if err := printTrace(*addr, fields[1]); err != nil {
+				fmt.Printf("trace: %v\n", err)
+			}
 		case "top":
 			args, err := floats(fields[1:], 3)
 			if err != nil {
@@ -167,6 +185,49 @@ func main() {
 		default:
 			fmt.Printf("unknown command %q (try help)\n", fields[0])
 		}
+	}
+}
+
+// printTrace fetches a finished trace from a topkd and pretty-prints
+// the span tree — on a gateway this is the stitched cross-process
+// tree: root, per-band RPC spans, and each member's handler and Store
+// spans indented beneath the RPC that issued them.
+func printTrace(addr, id string) error {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	resp, err := http.Get(base + "/v1/trace/" + url.PathEscape(id))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("http %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var tr obs.TraceJSON
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return fmt.Errorf("bad response body: %v", err)
+	}
+	fmt.Printf("trace %s (status %d)\n", tr.ID, tr.Status)
+	printSpan(tr.Root, 0)
+	return nil
+}
+
+// printSpan renders one span line and recurses into its children.
+func printSpan(s obs.SpanJSON, depth int) {
+	fmt.Printf("%s%s", strings.Repeat("  ", depth), s.Name)
+	if s.Addr != "" {
+		fmt.Printf(" @ %s", s.Addr)
+	}
+	fmt.Printf("  %dµs", s.DurationUS)
+	if s.Err != "" {
+		fmt.Printf("  ERR %s", s.Err)
+	}
+	fmt.Println()
+	for _, c := range s.Children {
+		printSpan(c, depth+1)
 	}
 }
 

@@ -90,6 +90,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("topkd: -log-level: %v", err)
 	}
+	if err := validateTraceSample(*traceSample); err != nil {
+		log.Fatalf("topkd: -trace-sample: %v", err)
+	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	tel := obs.New(obs.Options{
 		Logger:     logger,
@@ -124,6 +127,7 @@ func main() {
 			Members:        strings.Split(*gateway, ","),
 			Timeout:        *timeout,
 			HealthInterval: *healthEvery,
+			Logger:         logger,
 		})
 	} else {
 		var pts []topk.Result
@@ -195,6 +199,20 @@ func main() {
 }
 
 // parseLevel maps a -log-level flag value to its slog level.
+// validateTraceSample rejects sample rates that cannot mean anything:
+// NaN, negative, or above 1. Silently accepting them made -trace-sample
+// 1.5 look like "sample more" when it just clamps to everything, and
+// NaN sampled nothing while looking enabled.
+func validateTraceSample(v float64) error {
+	if math.IsNaN(v) {
+		return fmt.Errorf("NaN is not a sample rate (want a fraction in [0, 1])")
+	}
+	if v < 0 || v > 1 {
+		return fmt.Errorf("sample rate %v outside [0, 1] (0 traces header-carrying requests only, 1 traces everything)", v)
+	}
+	return nil
+}
+
 func parseLevel(s string) (slog.Level, error) {
 	switch strings.ToLower(s) {
 	case "debug":

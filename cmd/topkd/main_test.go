@@ -901,3 +901,19 @@ func TestShutdownFlushesAcceptedWrites(t *testing.T) {
 		t.Fatalf("after shutdown flush: inner store has %d points, want %d (accepted writes dropped)", got, writes)
 	}
 }
+
+// TestValidateTraceSample: -trace-sample accepts exactly [0, 1] and
+// rejects NaN and out-of-range values at startup instead of silently
+// tracing nothing (or everything).
+func TestValidateTraceSample(t *testing.T) {
+	for _, v := range []float64{0, 0.5, 1} {
+		if err := validateTraceSample(v); err != nil {
+			t.Errorf("validateTraceSample(%v) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []float64{math.NaN(), -0.1, 1.1, -1, 2, math.Inf(1), math.Inf(-1)} {
+		if err := validateTraceSample(v); err == nil {
+			t.Errorf("validateTraceSample(%v) = nil, want rejection", v)
+		}
+	}
+}

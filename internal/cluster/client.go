@@ -79,6 +79,11 @@ func (n *node) do(req *http.Request, out any) (err error) {
 		req.Header.Set(obs.TraceHeader, tr.ID)
 	}
 	sp := obs.StartSpan(req.Context(), req.Method+" "+req.URL.Path, n.addr)
+	if id := sp.ID(); id != "" {
+		// The member records this span as its trace's parent, and the
+		// gateway's stitcher splices the member tree back under it.
+		req.Header.Set(obs.ParentSpanHeader, id)
+	}
 	start := time.Now()
 	defer func() {
 		if n.rpc != nil {
@@ -181,6 +186,26 @@ func (n *node) resetStats(ctx context.Context) error {
 
 func (n *node) dropCache(ctx context.Context) error {
 	return n.post(ctx, "/v1/cache/drop", nil, nil)
+}
+
+// getRaw issues a GET and returns the raw 200 body — the metrics
+// scrape leg, where the payload is a Prometheus text page rather than
+// JSON. Non-200 responses and transport failures wrap ErrNodeDown.
+func (n *node) getRaw(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.addr+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w: %v", n.addr, ErrNodeDown, err)
+	}
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w: %v", n.addr, ErrNodeDown, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		return nil, fmt.Errorf("%s: %w: http %d: %s", n.addr, ErrNodeDown, resp.StatusCode, data)
+	}
+	return io.ReadAll(resp.Body)
 }
 
 // fmtFloat renders a float64 for a URL query parameter with exact

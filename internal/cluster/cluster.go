@@ -35,8 +35,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -75,6 +77,9 @@ type Config struct {
 	// Transport overrides the pooled HTTP transport (tests; nil = a
 	// dedicated pooled transport owned — and closed — by the cluster).
 	Transport http.RoundTripper
+	// Logger receives structured health events (member ejected /
+	// recovered). Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +120,12 @@ type Cluster struct {
 
 	// failovers counts reads that succeeded on an alternate replica.
 	failovers atomic.Int64
+
+	// ejections / recoveries count ejection episodes beginning and
+	// ending (health.go); log receives the matching structured events.
+	ejections  atomic.Int64
+	recoveries atomic.Int64
+	log        *slog.Logger
 
 	// rpc records member RPC latency per member address; every node
 	// shares it. The serving layer exports it from a gateway's
@@ -158,12 +169,17 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	hc := &http.Client{Transport: transport}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		transport: transport,
 		positions: map[float64]struct{}{},
 		scores:    map[float64]struct{}{},
 		rpc:       obs.NewVec(),
+		log:       log,
 	}
 	seen := map[string]bool{}
 	for _, m := range cfg.Members {
@@ -747,6 +763,60 @@ func (c *Cluster) adminFanOut(ctx context.Context, call func(*node, context.Cont
 // RPCDurations returns the per-member RPC latency histograms — every
 // member request this client issued, keyed by member address.
 func (c *Cluster) RPCDurations() *obs.Vec { return c.rpc }
+
+// ScrapeMetrics fetches every member's raw /v1/metrics page in
+// parallel — the federation leg of the gateway's /v1/metrics/fleet.
+// Unreachable members are skipped (and fed into the same ejection
+// accounting as any failed request); the second return is the total
+// member count so the caller can report fleet coverage.
+func (c *Cluster) ScrapeMetrics(ctx context.Context) ([]obs.MetricsPage, int) {
+	pages := make([]*obs.MetricsPage, len(c.nodes))
+	fns := make([]func(), len(c.nodes))
+	for i, n := range c.nodes {
+		i, n := i, n
+		fns[i] = func() {
+			cctx, cancel := c.callCtx(ctx)
+			defer cancel()
+			body, err := n.getRaw(cctx, "/v1/metrics")
+			if err != nil {
+				c.markFailed(n)
+				return
+			}
+			c.markUp(n)
+			pages[i] = &obs.MetricsPage{Node: n.addr, Body: body}
+		}
+	}
+	parallel(fns)
+	out := make([]obs.MetricsPage, 0, len(pages))
+	for _, p := range pages {
+		if p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out, len(c.nodes)
+}
+
+// FetchTrace fetches the member at addr's span tree for the given
+// trace ID — the stitching leg of the gateway's /v1/trace/{id}. The
+// addr must match a configured member (it comes from an RPC span this
+// client created, so a mismatch means the trace outlived a topology).
+func (c *Cluster) FetchTrace(ctx context.Context, addr, id string) (obs.TraceJSON, error) {
+	var out obs.TraceJSON
+	var target *node
+	for _, n := range c.nodes {
+		if n.addr == addr {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		return out, fmt.Errorf("cluster: no member %s", addr)
+	}
+	cctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	err := target.get(cctx, "/v1/trace/"+url.PathEscape(id), &out)
+	return out, err
+}
 
 // String summarizes the fleet layout.
 func (c *Cluster) String() string {

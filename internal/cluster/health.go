@@ -29,22 +29,47 @@ import (
 )
 
 // markFailed records one failed interaction with the node, ejecting it
-// once the consecutive-failure threshold is reached.
+// once the consecutive-failure threshold is reached. The first
+// ejection of an episode (zero → non-zero deadline) bumps the
+// ejections counter and emits a structured event; extending an
+// existing window does not.
 func (c *Cluster) markFailed(n *node) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.fails++
-	if n.fails >= c.cfg.EjectAfter {
-		n.ejectedUntil = time.Now().Add(c.cfg.EjectFor)
+	fails := n.fails
+	ejected := false
+	var deadline time.Time
+	if fails >= c.cfg.EjectAfter {
+		ejected = n.ejectedUntil.IsZero()
+		deadline = time.Now().Add(c.cfg.EjectFor)
+		n.ejectedUntil = deadline
+	}
+	n.mu.Unlock()
+	if ejected {
+		c.ejections.Add(1)
+		c.log.Warn("member ejected",
+			"node", n.addr,
+			"consecutive_failures", fails,
+			"eject_deadline", deadline)
 	}
 }
 
 // markUp records one successful interaction, clearing failure state.
+// A success on a node with a standing ejection window — expired or
+// not — closes the episode: recoveries bumps and an event is emitted.
 func (c *Cluster) markUp(n *node) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	recovered := !n.ejectedUntil.IsZero()
+	fails := n.fails
 	n.fails = 0
 	n.ejectedUntil = time.Time{}
+	n.mu.Unlock()
+	if recovered {
+		c.recoveries.Add(1)
+		c.log.Info("member recovered",
+			"node", n.addr,
+			"consecutive_failures", fails)
+	}
 }
 
 // isEjected reports whether the node is inside an ejection window.
@@ -72,6 +97,14 @@ func (c *Cluster) Ejected() int {
 // over from a preferred replica to an alternate — the operator-facing
 // signal that a group is limping on reduced redundancy.
 func (c *Cluster) ReadFailovers() int64 { return c.failovers.Load() }
+
+// Ejections returns how many ejection episodes have begun — each a
+// healthy→ejected transition, not a window extension.
+func (c *Cluster) Ejections() int64 { return c.ejections.Load() }
+
+// Recoveries returns how many ejection episodes have ended with the
+// node answering again.
+func (c *Cluster) Recoveries() int64 { return c.recoveries.Load() }
 
 // startProber launches the background health loop when the config asks
 // for one. Called once from New before the cluster is shared.

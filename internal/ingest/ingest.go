@@ -98,7 +98,7 @@ func (f *Future) Wait() error {
 			// goes back via defer so a panicking flush cannot strand it.
 			func() {
 				defer func() { b.slot <- struct{}{} }()
-				b.commitSlotHeld()
+				b.commitSlotHeld(ReasonSlotWinner)
 			}()
 		}
 	}
@@ -132,6 +132,10 @@ type Options struct {
 	// more pending ops tries to drive a commit itself instead of
 	// queueing further. Default 4×MaxBatch.
 	MaxPending int
+	// DisableTelemetry turns off the write-path histograms and
+	// flush-reason counters (Telemetry() returns nil). Used by the e15
+	// overhead experiment to measure the on-vs-off delta.
+	DisableTelemetry bool
 }
 
 func (o Options) withDefaults() Options {
@@ -208,6 +212,10 @@ type Batcher struct {
 	// ownership, not a mutex.
 	gops  []Op
 	gfuts []*Future
+
+	// tel is the write-path telemetry, nil when disabled. Never
+	// reassigned after New, so reads need no synchronization.
+	tel *Telemetry
 }
 
 // New returns a running Batcher over opt.Flush.
@@ -225,6 +233,9 @@ func New(opt Options) *Batcher {
 		stop: make(chan struct{}),
 		fin:  make(chan struct{}),
 	}
+	if !opt.DisableTelemetry {
+		b.tel = &Telemetry{}
+	}
 	b.slot <- struct{}{}
 	if opt.Window > 0 {
 		go b.run()
@@ -240,12 +251,7 @@ func New(opt Options) *Batcher {
 // comes first.
 func (b *Batcher) Submit(op Op) *Future {
 	f := &Future{b: b, done: make(chan struct{})}
-	s := &b.strs[rand.Uint32()&b.mask]
-	s.mu.Lock()
-	s.ops = append(s.ops, op)
-	s.futs = append(s.futs, f)
-	s.mu.Unlock()
-	n := b.pending.Add(1)
+	n := b.enqueue(op, f)
 	if b.closed.Load() {
 		// Late submit racing Close: the final drain may already have
 		// swept this stripe, and the flusher is gone — commit here so
@@ -253,7 +259,7 @@ func (b *Batcher) Submit(op Op) *Future {
 		// stripe mutex orders us after the final drain, which the
 		// closed store precedes, so this branch is reached exactly
 		// when it must be.)
-		b.Commit()
+		b.commit(ReasonDirect)
 		return f
 	}
 	select {
@@ -261,9 +267,46 @@ func (b *Batcher) Submit(op Op) *Future {
 	default:
 	}
 	if n >= int64(b.opt.MaxPending) {
-		b.tryCommit()
+		if b.tel != nil {
+			start := time.Now()
+			b.tryCommit(ReasonBackpressure)
+			b.tel.BackpressureWait.Observe(time.Since(start))
+		} else {
+			b.tryCommit(ReasonBackpressure)
+		}
 	}
 	return f
+}
+
+// enqueue appends (op, f) to a random stripe and returns the new
+// pending depth. This is the warm write path — steady state the
+// stripe's backing arrays already have capacity (commitSlotHeld
+// truncates them in place), so the append is two stores under a
+// striped mutex with no allocation; growth is split into the cold
+// unannotated method below.
+//
+//topk:nomalloc
+func (b *Batcher) enqueue(op Op, f *Future) int64 {
+	s := &b.strs[rand.Uint32()&b.mask]
+	s.mu.Lock()
+	i := len(s.ops)
+	if i < cap(s.ops) && i < cap(s.futs) {
+		s.ops = s.ops[:i+1]
+		s.ops[i] = op
+		s.futs = s.futs[:i+1]
+		s.futs[i] = f
+	} else {
+		s.grow(op, f)
+	}
+	s.mu.Unlock()
+	return b.pending.Add(1)
+}
+
+// grow is the cold append path, taken while a stripe's buffers are
+// still warming up to the process's steady-state group size.
+func (s *stripe) grow(op Op, f *Future) {
+	s.ops = append(s.ops, op)
+	s.futs = append(s.futs, f)
 }
 
 // Do submits op and waits for its group to commit — the synchronous
@@ -273,27 +316,30 @@ func (b *Batcher) Do(op Op) error { return b.Submit(op).Wait() }
 
 // Commit drives one group commit now: acquire the slot, drain every
 // stripe, flush, deliver. A no-op when nothing is pending.
-func (b *Batcher) Commit() {
+func (b *Batcher) Commit() { b.commit(ReasonExplicit) }
+
+// commit is Commit with the flush-reason attribution threaded through.
+func (b *Batcher) commit(reason FlushReason) {
 	<-b.slot
 	defer func() { b.slot <- struct{}{} }()
-	b.commitSlotHeld()
+	b.commitSlotHeld(reason)
 }
 
 // tryCommit commits only if the slot is free — the backpressure path,
 // where a producer lends a hand but never queues behind the slot.
-func (b *Batcher) tryCommit() {
+func (b *Batcher) tryCommit(reason FlushReason) {
 	select {
 	case <-b.slot:
 	default:
 		return
 	}
 	defer func() { b.slot <- struct{}{} }()
-	b.commitSlotHeld()
+	b.commitSlotHeld(reason)
 }
 
 // commitSlotHeld drains all stripes into one group and flushes it.
 // The caller holds the commit slot token.
-func (b *Batcher) commitSlotHeld() {
+func (b *Batcher) commitSlotHeld(reason FlushReason) {
 	ops := b.gops[:0]
 	futs := b.gfuts[:0]
 	for i := range b.strs {
@@ -314,6 +360,10 @@ func (b *Batcher) commitSlotHeld() {
 	}
 	b.pending.Add(-int64(len(ops)))
 
+	var flushStart time.Time
+	if b.tel != nil {
+		flushStart = time.Now()
+	}
 	var errs []error
 	func() {
 		defer func() {
@@ -349,6 +399,9 @@ func (b *Batcher) commitSlotHeld() {
 	if g := int64(len(ops)); g > b.maxGroup.Load() {
 		b.maxGroup.Store(g) // serialized by the slot; no CAS loop needed
 	}
+	if b.tel != nil {
+		b.tel.observeFlush(reason, len(ops), time.Since(flushStart))
+	}
 }
 
 // run is the background flusher: the async deadline (Window) and size
@@ -368,7 +421,9 @@ func (b *Batcher) run() {
 		}
 		// Let a sparse group gather company for up to Window; a group
 		// already at MaxBatch commits immediately.
+		reason := ReasonSize
 		if b.pending.Load() < int64(b.opt.MaxBatch) {
+			reason = ReasonDeadline
 			timer.Reset(b.opt.Window)
 			select {
 			case <-b.stop:
@@ -379,7 +434,7 @@ func (b *Batcher) run() {
 			case <-timer.C:
 			}
 		}
-		b.Commit()
+		b.commit(reason)
 		if b.pending.Load() > 0 {
 			// Ops arrived during the commit; make sure a wake token
 			// exists so they are swept without waiting for a producer.
@@ -405,6 +460,10 @@ func (b *Batcher) Close() error {
 	b.Commit()
 	return nil
 }
+
+// Telemetry returns the batcher's write-path telemetry, or nil when
+// Options.DisableTelemetry was set.
+func (b *Batcher) Telemetry() *Telemetry { return b.tel }
 
 // Stats snapshots the lifetime counters.
 func (b *Batcher) Stats() Stats {

@@ -1,0 +1,268 @@
+package obs
+
+// Metrics federation: the gateway scrapes each member's /v1/metrics
+// page, parses the Prometheus text format, and merges the families
+// into one fleet-wide page. The merge is exact, not approximate:
+// every histogram in the fleet uses the identical log-scaled bucket
+// boundaries (2^i), so summing per-bucket counts across members loses
+// nothing — the federated p99 is the true fleet p99 to within one
+// bucket width, same as any single member's. Counters sum; gauges
+// (and untyped samples) cannot be meaningfully summed, so they are
+// re-emitted per member with a node="addr" label.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricsPage is one member's raw /v1/metrics response.
+type MetricsPage struct {
+	Node string // member address, the node label of per-member samples
+	Body []byte
+}
+
+// Label is one label pair of a sample.
+type Label struct {
+	Key, Value string
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string // full sample name incl. _bucket/_sum/_count suffix
+	Labels []Label
+	Value  float64
+}
+
+// key returns the canonical identity of the sample inside its family:
+// full name plus sorted label pairs (le included, node excluded — the
+// caller adds node labels only after merging).
+func (s PromSample) key() string {
+	ls := make([]string, len(s.Labels))
+	for i, l := range s.Labels {
+		ls[i] = l.Key + "=" + strconv.Quote(l.Value)
+	}
+	sort.Strings(ls)
+	return s.Name + "{" + strings.Join(ls, ",") + "}"
+}
+
+// PromFamily is one parsed metric family: the HELP/TYPE header and the
+// samples announced under it, in page order.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter | gauge | histogram | untyped
+	Samples []PromSample
+}
+
+// ParseProm parses a Prometheus text-format (0.0.4) page into families.
+// The parser is strict about the shapes this codebase emits: every
+// sample must belong to an announced family (histogram samples via
+// their _bucket/_sum/_count suffixes), label values are quoted strings,
+// and malformed lines are errors rather than skips — a member emitting
+// garbage should fail the federation loudly, not vanish from it.
+func ParseProm(body []byte) ([]*PromFamily, error) {
+	var fams []*PromFamily
+	byName := map[string]*PromFamily{}
+	family := func(name string) *PromFamily {
+		f := byName[name]
+		if f == nil {
+			f = &PromFamily{Name: name, Type: "untyped"}
+			byName[name] = f
+			fams = append(fams, f)
+		}
+		return f
+	}
+	for ln, line := range strings.Split(string(bytes.TrimRight(body, "\n")), "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("prom: line %d: HELP without metric name", ln+1)
+			}
+			family(name).Help = help
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, _ := strings.Cut(rest, " ")
+			if name == "" || typ == "" {
+				return nil, fmt.Errorf("prom: line %d: malformed TYPE line %q", ln+1, line)
+			}
+			family(name).Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: %w", ln+1, err)
+		}
+		f := byName[s.Name]
+		if f == nil {
+			// Histogram samples carry the family name plus a suffix.
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(s.Name, suf); ok {
+					if bf := byName[base]; bf != nil && bf.Type == "histogram" {
+						f = bf
+						break
+					}
+				}
+			}
+		}
+		if f == nil {
+			return nil, fmt.Errorf("prom: line %d: sample %q has no family", ln+1, s.Name)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	return fams, nil
+}
+
+// parseSampleLine parses `name{k="v",...} value` (labels optional).
+func parseSampleLine(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+		s.Name = line[:i]
+		var err error
+		s.Labels, err = parseLabels(line[i+1 : j])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		var ok bool
+		s.Name, rest, ok = strings.Cut(line, " ")
+		if !ok {
+			return s, fmt.Errorf("malformed sample %q", line)
+		}
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses the inside of a label block: k="v",k2="v2".
+func parseLabels(in string) ([]Label, error) {
+	var out []Label
+	for in != "" {
+		eq := strings.IndexByte(in, '=')
+		if eq < 0 || len(in) < eq+2 || in[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed labels")
+		}
+		key := in[:eq]
+		rest := in[eq+1:] // starts at the opening quote
+		val, tail, err := unquotePrefix(rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Label{Key: key, Value: val})
+		in = tail
+		if in != "" {
+			if in[0] != ',' {
+				return nil, fmt.Errorf("malformed labels")
+			}
+			in = in[1:]
+		}
+	}
+	return out, nil
+}
+
+// unquotePrefix consumes one quoted string from the front of in and
+// returns its value plus the remainder.
+func unquotePrefix(in string) (string, string, error) {
+	if len(in) == 0 || in[0] != '"' {
+		return "", "", fmt.Errorf("malformed labels")
+	}
+	for i := 1; i < len(in); i++ {
+		switch in[i] {
+		case '\\':
+			i++ // skip the escaped byte
+		case '"':
+			val, err := strconv.Unquote(in[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("malformed labels: %w", err)
+			}
+			return val, in[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// Federate parses each member page and merges the families into one
+// fleet view. Counters and histograms merge by summing samples with
+// identical name+labels (lossless for the fixed 2^i buckets); gauges
+// and untyped samples are emitted once per member with a node label
+// appended. Family order follows first appearance across pages, and
+// merged samples keep first-seen order, so per-series histogram
+// buckets stay contiguous and ascending.
+func Federate(pages []MetricsPage) ([]*PromFamily, error) {
+	var fams []*PromFamily
+	byName := map[string]*PromFamily{}
+	// sums[family][sample key] → index into the family's Samples.
+	sums := map[*PromFamily]map[string]int{}
+	for _, p := range pages {
+		parsed, err := ParseProm(p.Body)
+		if err != nil {
+			return nil, fmt.Errorf("member %s: %w", p.Node, err)
+		}
+		for _, pf := range parsed {
+			f := byName[pf.Name]
+			if f == nil {
+				f = &PromFamily{Name: pf.Name, Help: pf.Help, Type: pf.Type}
+				byName[pf.Name] = f
+				fams = append(fams, f)
+				sums[f] = map[string]int{}
+			}
+			for _, s := range pf.Samples {
+				switch f.Type {
+				case "counter", "histogram":
+					k := s.key()
+					if i, ok := sums[f][k]; ok {
+						f.Samples[i].Value += s.Value
+					} else {
+						sums[f][k] = len(f.Samples)
+						f.Samples = append(f.Samples, s)
+					}
+				default: // gauge, untyped: per-member identity matters
+					s.Labels = append(append([]Label{}, s.Labels...), Label{Key: "node", Value: p.Node})
+					f.Samples = append(f.Samples, s)
+				}
+			}
+		}
+	}
+	return fams, nil
+}
+
+// WriteFamilies renders families back to the text format.
+func WriteFamilies(w io.Writer, fams []*PromFamily) {
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.Name, f.Help, f.Name, f.Type)
+		for _, s := range f.Samples {
+			if len(s.Labels) == 0 {
+				fmt.Fprintf(w, "%s %s\n", s.Name, fmtF(s.Value))
+				continue
+			}
+			parts := make([]string, len(s.Labels))
+			for i, l := range s.Labels {
+				parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+			}
+			fmt.Fprintf(w, "%s{%s} %s\n", s.Name, strings.Join(parts, ","), fmtF(s.Value))
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// page builds a minimal member metrics page with one counter, one
+// gauge, and one two-bucket histogram whose per-bucket counts are the
+// given values.
+func page(counter, gauge float64, b1, b2, count uint64, sum float64) []byte {
+	var w bytes.Buffer
+	w.WriteString("# HELP topkd_requests_total Requests served.\n# TYPE topkd_requests_total counter\n")
+	w.WriteString("topkd_requests_total{endpoint=\"topk\"} " + fmtF(counter) + "\n")
+	w.WriteString("# HELP topkd_points_live Live points.\n# TYPE topkd_points_live gauge\n")
+	w.WriteString("topkd_points_live " + fmtF(gauge) + "\n")
+	w.WriteString("# HELP topkd_lat_seconds Latency.\n# TYPE topkd_lat_seconds histogram\n")
+	w.WriteString("topkd_lat_seconds_bucket{le=\"0.001\"} " + fmtF(float64(b1)) + "\n")
+	w.WriteString("topkd_lat_seconds_bucket{le=\"+Inf\"} " + fmtF(float64(b2)) + "\n")
+	w.WriteString("topkd_lat_seconds_sum " + fmtF(sum) + "\n")
+	w.WriteString("topkd_lat_seconds_count " + fmtF(float64(count)) + "\n")
+	return w.Bytes()
+}
+
+// TestParseProm: families come back in page order with types, help and
+// samples attached, and histogram suffix samples resolve to the base
+// family.
+func TestParseProm(t *testing.T) {
+	fams, err := ParseProm(page(3, 100, 2, 5, 5, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families = %d, want 3", len(fams))
+	}
+	if fams[0].Name != "topkd_requests_total" || fams[0].Type != "counter" {
+		t.Fatalf("family 0 = %s/%s", fams[0].Name, fams[0].Type)
+	}
+	if len(fams[0].Samples) != 1 || fams[0].Samples[0].Value != 3 {
+		t.Fatalf("counter samples = %+v", fams[0].Samples)
+	}
+	if got := fams[0].Samples[0].Labels; len(got) != 1 || got[0] != (Label{"endpoint", "topk"}) {
+		t.Fatalf("counter labels = %+v", got)
+	}
+	if fams[2].Type != "histogram" || len(fams[2].Samples) != 4 {
+		t.Fatalf("histogram family = %s with %d samples", fams[2].Type, len(fams[2].Samples))
+	}
+}
+
+// TestParsePromMalformed: garbage pages are loud errors, never silent
+// skips — a broken member must fail the federation visibly.
+func TestParsePromMalformed(t *testing.T) {
+	bad := [][]byte{
+		[]byte("orphan_sample 12\n"),                    // sample without a family
+		[]byte("# TYPE x counter\nx notanumber\n"),      // bad value
+		[]byte("# TYPE x counter\nx{le=\"0.1} 1\n"),     // unterminated label
+		[]byte("# TYPE x counter\nx{le=0.1} 1\n"),       // unquoted label value
+		[]byte("# HELP  \n"),                            // HELP without a name
+		[]byte("# TYPE x counter\nx_bucket{a=\"b\"} 1"), // suffix on a non-histogram
+	}
+	for i, b := range bad {
+		if _, err := ParseProm(b); err == nil {
+			t.Errorf("case %d: ParseProm(%q) = nil error, want failure", i, b)
+		}
+	}
+}
+
+// TestFederate: counters and histogram buckets sum exactly across
+// members, gauges fan out one sample per member with a node label, and
+// a malformed member page fails the whole merge with its node named.
+func TestFederate(t *testing.T) {
+	pages := []MetricsPage{
+		{Node: "127.0.0.1:9001", Body: page(3, 100, 2, 5, 5, 0.25)},
+		{Node: "127.0.0.1:9002", Body: page(4, 200, 1, 9, 9, 0.50)},
+	}
+	fams, err := Federate(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+
+	c := byName["topkd_requests_total"]
+	if len(c.Samples) != 1 || c.Samples[0].Value != 7 {
+		t.Fatalf("counter merge = %+v, want one sample of 7", c.Samples)
+	}
+
+	g := byName["topkd_points_live"]
+	if len(g.Samples) != 2 {
+		t.Fatalf("gauge fan-out = %d samples, want 2", len(g.Samples))
+	}
+	want := map[string]float64{"127.0.0.1:9001": 100, "127.0.0.1:9002": 200}
+	for _, s := range g.Samples {
+		var node string
+		for _, l := range s.Labels {
+			if l.Key == "node" {
+				node = l.Value
+			}
+		}
+		if node == "" || s.Value != want[node] {
+			t.Fatalf("gauge sample %+v, want node-labeled with %v", s, want)
+		}
+	}
+
+	// Histogram exactness: identical 2^i bounds mean per-bucket sums
+	// are the true fleet distribution, and _count still equals the
+	// +Inf bucket after the merge.
+	h := byName["topkd_lat_seconds"]
+	got := map[string]float64{}
+	for _, s := range h.Samples {
+		got[s.key()] = s.Value
+	}
+	checks := map[string]float64{
+		`topkd_lat_seconds_bucket{le="0.001"}`: 3,
+		`topkd_lat_seconds_bucket{le="+Inf"}`:  14,
+		`topkd_lat_seconds_count{}`:            14,
+		`topkd_lat_seconds_sum{}`:              0.75,
+	}
+	for k, v := range checks {
+		if got[k] != v {
+			t.Errorf("histogram %s = %v, want %v", k, got[k], v)
+		}
+	}
+
+	// A broken member fails the merge, naming the node.
+	pages[1].Body = []byte("garbage line\n")
+	if _, err := Federate(pages); err == nil || !strings.Contains(err.Error(), "127.0.0.1:9002") {
+		t.Fatalf("Federate with a garbage page: err = %v, want node-named failure", err)
+	}
+}
+
+// TestFederateRoundTrip: a federated page renders back to valid text
+// format that the same parser accepts — gateways can be scraped by
+// other gateways.
+func TestFederateRoundTrip(t *testing.T) {
+	fams, err := Federate([]MetricsPage{
+		{Node: "a:1", Body: page(1, 10, 1, 1, 1, 0.1)},
+		{Node: "b:2", Body: page(2, 20, 2, 2, 2, 0.2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bytes.Buffer
+	WriteFamilies(&w, fams)
+	again, err := ParseProm(w.Bytes())
+	if err != nil {
+		t.Fatalf("re-parsing federated output: %v\n%s", err, w.String())
+	}
+	if len(again) != len(fams) {
+		t.Fatalf("round trip families = %d, want %d", len(again), len(fams))
+	}
+}
+
+// TestFederateHistogramExact: two real striped histograms observe
+// disjoint workloads; federating their rendered pages reproduces the
+// bucket vector of one histogram fed both workloads. This is the
+// "merge is exact, not approximate" claim as an executable check.
+func TestFederateHistogramExact(t *testing.T) {
+	var a, b, both Histogram
+	for i := 0; i < 500; i++ {
+		d := time.Duration(i%700) * time.Microsecond
+		a.Observe(d)
+		both.Observe(d)
+	}
+	for i := 0; i < 300; i++ {
+		d := time.Duration(i) * 50 * time.Microsecond
+		b.Observe(d)
+		both.Observe(d)
+	}
+	render := func(h *Histogram) []byte {
+		var w bytes.Buffer
+		WriteHistogram(&w, "h_seconds", "test histogram", h)
+		return w.Bytes()
+	}
+	fams, err := Federate([]MetricsPage{
+		{Node: "a:1", Body: render(&a)},
+		{Node: "b:2", Body: render(&b)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bytes.Buffer
+	WriteFamilies(&w, fams)
+	fed, err := ParseProm(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := ParseProm(render(&both))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{}
+	for _, s := range direct[0].Samples {
+		want[s.key()] = s.Value
+	}
+	for _, s := range fed[0].Samples {
+		wv, ok := want[s.key()]
+		if !ok {
+			t.Fatalf("federated sample %s absent from direct truth", s.key())
+		}
+		if strings.HasSuffix(s.Name, "_sum") {
+			// _sum crosses the wire as a seconds float and re-adds in a
+			// different order; everything countable must match exactly.
+			if diff := s.Value - wv; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s = %v, want ≈%v", s.key(), s.Value, wv)
+			}
+		} else if s.Value != wv {
+			t.Errorf("%s = %v, want exactly %v", s.key(), s.Value, wv)
+		}
+	}
+	if len(fed[0].Samples) != len(direct[0].Samples) {
+		t.Fatalf("sample count %d, want %d", len(fed[0].Samples), len(direct[0].Samples))
+	}
+}
+
+// TestCountHist: value observations land log-scaled with exact count
+// and sum, and the quantile tracks the distribution.
+func TestCountHist(t *testing.T) {
+	var h CountHist
+	for i := 0; i < 90; i++ {
+		h.Observe(16)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if want := float64(90*16 + 10*1000); s.Sum != want {
+		t.Fatalf("sum = %v, want %v", s.Sum, want)
+	}
+	if s.Counts[4] != 90 { // ≤ 2^4 = 16
+		t.Fatalf("bucket ≤16 = %d, want 90", s.Counts[4])
+	}
+	if q := s.Quantile(0.5); q < 8 || q > 16 {
+		t.Fatalf("p50 = %v, want within (8, 16]", q)
+	}
+	if q := s.Quantile(0.99); q < 512 || q > 1024 {
+		t.Fatalf("p99 = %v, want within (512, 1024]", q)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { h.Observe(7) }); allocs != 0 {
+		t.Errorf("CountHist.Observe allocates %.1f times per run; //topk:nomalloc promises 0", allocs)
+	}
+}

@@ -158,6 +158,102 @@ func (s Snapshot) Quantile(q float64) time.Duration {
 	return bucketBound(numBounds - 1)
 }
 
+// CountHist is a lock-free, striped, log-scaled histogram over integer
+// values (group sizes, queue depths) rather than durations: bucket i
+// holds values ≤ 2^i, reusing the latency histogram's stripes. The
+// zero value is ready to use.
+type CountHist struct {
+	stripes [numStripes]stripe
+}
+
+// CountBounds returns the value-histogram bucket upper bounds (raw
+// 2^i, not seconds), ascending, excluding the implicit +Inf bucket.
+func CountBounds() []float64 {
+	out := make([]float64, numBounds)
+	for i := range out {
+		out[i] = float64(uint64(1) << uint(i))
+	}
+	return out
+}
+
+// Observe records one value. Zero lands in the first bucket.
+//
+//topk:nomalloc
+func (h *CountHist) Observe(v uint64) {
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(v - 1)
+	}
+	if idx > numBounds {
+		idx = numBounds
+	}
+	s := &h.stripes[rand.Uint32()&(numStripes-1)]
+	s.counts[idx].Add(1)
+	s.sum.Add(int64(v))
+	s.n.Add(1)
+}
+
+// ValueSnapshot is the merged cumulative view of a CountHist: Counts[i]
+// is the number of observations ≤ 2^i, the final entry the +Inf bucket.
+type ValueSnapshot struct {
+	Counts [numBounds + 1]uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot merges the stripes and cumulates the buckets.
+func (h *CountHist) Snapshot() ValueSnapshot {
+	var s ValueSnapshot
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		for b := range st.counts {
+			s.Counts[b] += st.counts[b].Load()
+		}
+		s.Sum += float64(st.sum.Load())
+	}
+	for b := 1; b < len(s.Counts); b++ {
+		s.Counts[b] += s.Counts[b-1]
+	}
+	s.Count = s.Counts[len(s.Counts)-1]
+	return s
+}
+
+// Quantile estimates the q-quantile of the observed values by linear
+// interpolation inside the owning bucket (same scheme as the latency
+// Snapshot).
+func (s ValueSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	prev := uint64(0)
+	for i, c := range s.Counts {
+		if c >= rank {
+			if i == numBounds {
+				return float64(uint64(1) << uint(numBounds-1))
+			}
+			var lo float64
+			hi := float64(uint64(1) << uint(i))
+			if i > 0 {
+				lo = float64(uint64(1) << uint(i-1))
+			}
+			frac := float64(rank-prev) / float64(c-prev)
+			return lo + frac*(hi-lo)
+		}
+		prev = c
+	}
+	return float64(uint64(1) << uint(numBounds-1))
+}
+
 // Vec is a set of histograms keyed by one label value (endpoint, op,
 // member address). Labels are created lazily on first observation;
 // lookups take a read lock only.

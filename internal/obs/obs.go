@@ -8,6 +8,7 @@ package obs
 // cmd/topkd builds one from its flags.
 
 import (
+	"context"
 	"log/slog"
 	"net/http"
 	"strings"
@@ -78,7 +79,7 @@ var endpointLabels = map[string]bool{
 	"insert": true, "delete": true, "batch": true, "topk": true,
 	"count": true, "epoch": true, "range": true, "stats": true,
 	"stats_reset": true, "cache_drop": true, "metrics": true,
-	"trace": true, "outcome": true,
+	"metrics_fleet": true, "trace": true, "outcome": true,
 }
 
 // EndpointLabel normalizes a request path to its histogram label:
@@ -90,7 +91,7 @@ func EndpointLabel(path string) string {
 	p = strings.TrimPrefix(p, "v1/")
 	seg := strings.SplitN(p, "/", 3)
 	label := seg[0]
-	if len(seg) > 1 && (seg[1] == "reset" || seg[1] == "drop") {
+	if len(seg) > 1 && (seg[1] == "reset" || seg[1] == "drop" || seg[1] == "fleet") {
 		label = seg[0] + "_" + seg[1]
 	}
 	if !endpointLabels[label] {
@@ -125,6 +126,9 @@ func (t *Telemetry) Middleware(next http.Handler) http.Handler {
 		var tr *Trace
 		if id := r.Header.Get(TraceHeader); id != "" || t.Tracer.sampled() {
 			tr = t.Tracer.Start(id, r.Method+" "+r.URL.Path)
+			if ps := r.Header.Get(ParentSpanHeader); ps != "" && len(ps) <= maxTraceID {
+				tr.ParentSpan = ps
+			}
 			w.Header().Set(TraceHeader, tr.ID)
 			r = r.WithContext(WithTrace(r.Context(), tr))
 		}
@@ -165,4 +169,26 @@ func (t *Telemetry) Middleware(next http.Handler) http.Handler {
 func (t *Telemetry) TimeOp(op string) func() {
 	start := time.Now()
 	return func() { t.Ops.Observe(op, time.Since(start)) }
+}
+
+// TimeOpCtx is TimeOp plus a "store.<op>" span on ctx's trace (when
+// the request is traced), so member Store operations show up in the
+// stitched cross-process tree.
+func (t *Telemetry) TimeOpCtx(ctx context.Context, op string) func() {
+	start := time.Now()
+	sp := startOpSpan(ctx, op)
+	return func() {
+		t.Ops.Observe(op, time.Since(start))
+		sp.End(nil)
+	}
+}
+
+// startOpSpan opens the Store-op span, or nil when untraced. Split out
+// so the string concat only happens on the traced path.
+func startOpSpan(ctx context.Context, op string) *Span {
+	tr := FromContext(ctx)
+	if tr == nil {
+		return nil
+	}
+	return tr.StartSpan("store."+op, "")
 }

@@ -37,6 +37,39 @@ func WriteHistogramVec(w io.Writer, name, help, label string, v *Vec) {
 	}
 }
 
+// WriteHistogram emits one unlabeled latency histogram family (bounds
+// in seconds). A nil histogram emits the HELP/TYPE header only.
+func WriteHistogram(w io.Writer, name, help string, h *Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	if h == nil {
+		return
+	}
+	s := h.Snapshot()
+	for i, b := range Bounds() {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtF(b), s.Counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Counts[numBounds])
+	fmt.Fprintf(w, "%s_sum %s\n", name, fmtF(s.Sum.Seconds()))
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
+// WriteCountHistogram emits one unlabeled value histogram family
+// (bounds are raw powers of two, not seconds). A nil histogram emits
+// the HELP/TYPE header only.
+func WriteCountHistogram(w io.Writer, name, help string, h *CountHist) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	if h == nil {
+		return
+	}
+	s := h.Snapshot()
+	for i, b := range CountBounds() {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtF(b), s.Counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Counts[numBounds])
+	fmt.Fprintf(w, "%s_sum %s\n", name, fmtF(s.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
 // WriteRuntimeMetrics emits the Go runtime gauges: goroutines, heap
 // occupancy and GC activity. ReadMemStats stops the world briefly;
 // that is fine at scrape frequency.

@@ -23,6 +23,13 @@ import (
 // processes, request and response.
 const TraceHeader = "X-Topkd-Trace"
 
+// ParentSpanHeader carries the ID of the client-side RPC span that
+// issued the request. The member's middleware records it on its local
+// trace, and the gateway's stitcher later splices the member tree
+// under the span with that ID — turning N process-local trees into one
+// cross-process tree.
+const ParentSpanHeader = "X-Topkd-Parent-Span"
+
 // maxTraceID bounds accepted IDs so a hostile client cannot grow the
 // ring's memory arbitrarily through giant header values.
 const maxTraceID = 64
@@ -31,6 +38,7 @@ const maxTraceID = 64
 // StartSpan/End and read by Tree after the trace is finished; child
 // appends are serialized by the owning Trace.
 type Span struct {
+	id       string // random 64-bit hex, the stitch point for members
 	name     string
 	addr     string // member address for RPC spans, "" otherwise
 	start    time.Time
@@ -39,6 +47,20 @@ type Span struct {
 
 	mu       sync.Mutex
 	children []*Span
+}
+
+// newSpanID draws a random 64-bit span ID; collisions across the spans
+// of one trace are what matter, and at a handful of RPC spans per
+// trace they are negligible.
+func newSpanID() string { return fmt.Sprintf("%016x", rand.Uint64()) }
+
+// ID returns the span's unique ID (nil-safe: "" for an un-sampled
+// span, which callers must not propagate).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
 }
 
 // End closes the span, recording its duration and error (nil-safe, so
@@ -59,7 +81,11 @@ func (s *Span) End(err error) {
 type Trace struct {
 	ID     string
 	Status int // HTTP status of the root request, set at finish
-	root   *Span
+	// ParentSpan is the caller's RPC-span ID when the request arrived
+	// with X-Topkd-Parent-Span — the gateway stitches this member trace
+	// under that span.
+	ParentSpan string
+	root       *Span
 }
 
 // newTrace builds a trace with the given (or a fresh) ID.
@@ -69,7 +95,8 @@ func newTrace(id, rootName string) *Trace {
 	} else if len(id) > maxTraceID {
 		id = id[:maxTraceID]
 	}
-	return &Trace{ID: id, root: &Span{name: rootName, start: time.Now()}}
+	root := &Span{id: newSpanID(), name: rootName, start: time.Now()}
+	return &Trace{ID: id, root: root}
 }
 
 // StartSpan opens a child span under the root (nil-safe). Concurrent
@@ -78,7 +105,7 @@ func (t *Trace) StartSpan(name, addr string) *Span {
 	if t == nil {
 		return nil
 	}
-	sp := &Span{name: name, addr: addr, start: time.Now()}
+	sp := &Span{id: newSpanID(), name: name, addr: addr, start: time.Now()}
 	t.root.mu.Lock()
 	t.root.children = append(t.root.children, sp)
 	t.root.mu.Unlock()
@@ -87,6 +114,7 @@ func (t *Trace) StartSpan(name, addr string) *Span {
 
 // SpanJSON is the wire shape of a span, the payload of /v1/trace/{id}.
 type SpanJSON struct {
+	SpanID     string     `json:"span_id"`
 	Name       string     `json:"name"`
 	Addr       string     `json:"addr,omitempty"`
 	Start      time.Time  `json:"start"`
@@ -97,15 +125,17 @@ type SpanJSON struct {
 
 // TraceJSON is the wire shape of a finished trace.
 type TraceJSON struct {
-	ID     string   `json:"id"`
-	Status int      `json:"status"`
-	Root   SpanJSON `json:"root"`
+	ID         string   `json:"id"`
+	Status     int      `json:"status"`
+	ParentSpan string   `json:"parent_span,omitempty"`
+	Root       SpanJSON `json:"root"`
 }
 
 func (s *Span) tree() SpanJSON {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := SpanJSON{
+		SpanID:     s.id,
 		Name:       s.name,
 		Addr:       s.addr,
 		Start:      s.start,
@@ -120,7 +150,57 @@ func (s *Span) tree() SpanJSON {
 
 // Tree renders the finished trace for JSON encoding.
 func (t *Trace) Tree() TraceJSON {
-	return TraceJSON{ID: t.ID, Status: t.Status, Root: t.root.tree()}
+	return TraceJSON{ID: t.ID, Status: t.Status, ParentSpan: t.ParentSpan, Root: t.root.tree()}
+}
+
+// SpanAddrs returns the distinct non-empty member addresses in the
+// tree, first-visit order — the fan-out list for trace stitching.
+func SpanAddrs(root SpanJSON) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(s SpanJSON)
+	walk = func(s SpanJSON) {
+		if s.Addr != "" && !seen[s.Addr] {
+			seen[s.Addr] = true
+			out = append(out, s.Addr)
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// Stitch splices each member trace under the span in root whose ID
+// matches the member's ParentSpan, mutating root in place. Member
+// traces with no parent-span ID, or whose parent is absent from the
+// tree (evicted, re-used ID), are skipped. Returns the number of
+// subtrees spliced.
+func Stitch(root *SpanJSON, members []TraceJSON) int {
+	byParent := map[string][]SpanJSON{}
+	for _, m := range members {
+		if m.ParentSpan != "" {
+			byParent[m.ParentSpan] = append(byParent[m.ParentSpan], m.Root)
+		}
+	}
+	// One walk, appending as we go. Each span's original children are
+	// visited before the splice grows the slice (the spliced subtrees
+	// carry no parent IDs of their own to resolve), so a reallocating
+	// append can never stale a pointer the walk still holds.
+	n := 0
+	var walk func(s *SpanJSON)
+	walk = func(s *SpanJSON) {
+		for i := 0; i < len(s.Children); i++ {
+			walk(&s.Children[i])
+		}
+		if subs, ok := byParent[s.SpanID]; ok && s.SpanID != "" {
+			s.Children = append(s.Children, subs...)
+			n += len(subs)
+		}
+	}
+	walk(root)
+	return n
 }
 
 // ctxKey keys the trace in a context.Context.
@@ -147,10 +227,11 @@ func StartSpan(ctx context.Context, name, addr string) *Span {
 // Ring is the bounded in-memory store of finished traces: fixed
 // capacity, oldest evicted first, ID-addressable.
 type Ring struct {
-	mu   sync.Mutex
-	buf  []*Trace
-	next int
-	byID map[string]*Trace
+	mu        sync.Mutex
+	buf       []*Trace
+	next      int
+	byID      map[string]*Trace
+	evictions int64
 }
 
 // NewRing returns a ring holding up to n finished traces (minimum 1).
@@ -165,8 +246,11 @@ func NewRing(n int) *Ring {
 func (r *Ring) Put(t *Trace) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if old := r.buf[r.next]; old != nil && r.byID[old.ID] == old {
-		delete(r.byID, old.ID)
+	if old := r.buf[r.next]; old != nil {
+		r.evictions++
+		if r.byID[old.ID] == old {
+			delete(r.byID, old.ID)
+		}
 	}
 	r.buf[r.next] = t
 	r.byID[t.ID] = t
@@ -179,6 +263,14 @@ func (r *Ring) Get(id string) *Trace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.byID[id]
+}
+
+// Evictions returns the number of finished traces overwritten by
+// newer ones — the counter that explains trace_not_found responses.
+func (r *Ring) Evictions() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictions
 }
 
 // Tracer owns the sampling decision and the ring of finished traces.
@@ -225,3 +317,6 @@ func (tr *Tracer) Finish(t *Trace, status int) {
 
 // Get retrieves a finished trace by ID.
 func (tr *Tracer) Get(id string) *Trace { return tr.ring.Get(id) }
+
+// RingEvictions returns how many finished traces the ring has evicted.
+func (tr *Tracer) RingEvictions() int64 { return tr.ring.Evictions() }

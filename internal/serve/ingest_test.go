@@ -7,6 +7,7 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -101,6 +102,95 @@ func TestAsyncAckFlow(t *testing.T) {
 	}
 	if e.Error.Code != "outcome_not_found" {
 		t.Fatalf("unknown outcome code = %q", e.Error.Code)
+	}
+}
+
+// TestIngestTelemetryExported: a batched backend exports the write-path
+// families on /v1/metrics (through the standard parser pass) and the
+// structured batcher block — flush reasons, group-size and
+// flush-latency quantiles, outcome-ring occupancy — on /v1/stats.
+func TestIngestTelemetryExported(t *testing.T) {
+	bt := batchedStore(t, 50)
+	srv := httptest.NewServer(New(bt, Options{AsyncAck: true}))
+	defer srv.Close()
+
+	var ack struct {
+		Outcome string `json:"outcome"`
+	}
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"x": %d, "score": %d}`, 3000000+i, 3000000+i)
+		if code := postJSON(t, srv.URL+"/v1/insert", body, &ack); code != http.StatusAccepted {
+			t.Fatalf("insert %d status = %d, want 202", i, code)
+		}
+	}
+	pollOutcome(t, srv.URL, ack.Outcome)
+
+	fams := scrape(t, srv.URL)
+	for _, name := range []string{
+		"topkd_ingest_flushes_total",
+		"topkd_ingest_ops_total",
+		"topkd_ingest_pending",
+		"topkd_ingest_group_size",
+		"topkd_ingest_flush_duration_seconds",
+		"topkd_ingest_backpressure_wait_seconds",
+		"topkd_ingest_flushes_by_reason_total",
+		"topkd_outcome_ring_occupancy",
+		"topkd_outcome_ring_evictions_total",
+		"topkd_trace_ring_evictions_total",
+	} {
+		if fams[name] == nil {
+			t.Errorf("batched backend missing family %s", name)
+		}
+	}
+	reasons := map[string]float64{}
+	total := 0.0
+	for _, s := range fams["topkd_ingest_flushes_by_reason_total"].samples {
+		reasons[s.labels["reason"]] = s.value
+		total += s.value
+	}
+	for _, r := range []string{"slot_winner", "size", "deadline", "backpressure", "direct_fallback", "explicit"} {
+		if _, ok := reasons[r]; !ok {
+			t.Errorf("flush-reason counter missing label %q: %v", r, reasons)
+		}
+	}
+	if total == 0 {
+		t.Error("no flushes attributed to any reason after 5 committed writes")
+	}
+	if f := fams["topkd_outcome_ring_occupancy"]; len(f.samples) != 1 || f.samples[0].value < 5 {
+		t.Errorf("outcome ring occupancy = %+v, want >= 5", f.samples)
+	}
+
+	var stats struct {
+		Batcher struct {
+			Flushes      int64            `json:"flushes"`
+			FlushReasons map[string]int64 `json:"flush_reasons"`
+			GroupSize    *struct {
+				Count uint64 `json:"count"`
+			} `json:"group_size"`
+			FlushLatency *struct {
+				Count uint64 `json:"count"`
+			} `json:"flush_latency"`
+			OutcomeRing *struct {
+				Occupancy int   `json:"occupancy"`
+				Evictions int64 `json:"evictions"`
+			} `json:"outcome_ring"`
+		} `json:"batcher"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/stats", &stats); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	b := stats.Batcher
+	if len(b.FlushReasons) == 0 {
+		t.Error("stats missing batcher.flush_reasons")
+	}
+	if b.GroupSize == nil || b.GroupSize.Count == 0 {
+		t.Errorf("stats batcher.group_size = %+v, want committed groups", b.GroupSize)
+	}
+	if b.FlushLatency == nil || b.FlushLatency.Count == 0 {
+		t.Errorf("stats batcher.flush_latency = %+v, want observations", b.FlushLatency)
+	}
+	if b.OutcomeRing == nil || b.OutcomeRing.Occupancy < 5 {
+		t.Errorf("stats batcher.outcome_ring = %+v, want occupancy >= 5", b.OutcomeRing)
 	}
 }
 

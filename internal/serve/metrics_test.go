@@ -386,6 +386,117 @@ func TestMetricsWellFormed(t *testing.T) {
 	})
 }
 
+// fetchPage GETs one metrics URL and returns the raw page body.
+func fetchPage(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("%s status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// TestFleetMetrics: the gateway's /v1/metrics/fleet scrapes both
+// members and merges their pages — the same parser pass as any single
+// page, the fleet gauges present, gauges node-labeled per member, and
+// counters/histograms equal to the per-member sums, exactly.
+func TestFleetMetrics(t *testing.T) {
+	gw, shutdown := bootTestGateway(t, nil, nil)
+	defer shutdown()
+	driveTraffic(t, gw.URL)
+
+	// Fleet page first: a later direct member scrape bumps the members'
+	// own metrics-endpoint histograms, but not the series compared below.
+	fleetBody := fetchPage(t, gw.URL+"/v1/metrics/fleet")
+	fams := parseProm(t, fleetBody)
+	checkHistograms(t, fams)
+
+	if f := fams["topkd_fleet_members"]; f == nil || len(f.samples) != 1 || f.samples[0].value != 2 {
+		t.Fatalf("topkd_fleet_members = %+v, want one sample of 2", f)
+	}
+	if f := fams["topkd_fleet_members_scraped"]; f == nil || len(f.samples) != 1 || f.samples[0].value != 2 {
+		t.Fatalf("topkd_fleet_members_scraped = %+v, want one sample of 2", f)
+	}
+
+	// Gauges fan out per member with a node label carrying the member
+	// address; collect the fleet's view of the member roster from them.
+	live := fams["topkd_points_live"]
+	if live == nil || len(live.samples) != 2 {
+		t.Fatalf("topkd_points_live = %+v, want 2 node-labeled samples", live)
+	}
+	var memberURLs []string
+	liveByNode := map[string]float64{}
+	for _, s := range live.samples {
+		node := s.labels["node"]
+		if node == "" {
+			t.Fatalf("fleet gauge sample missing node label: %+v", s)
+		}
+		memberURLs = append(memberURLs, node)
+		liveByNode[node] = s.value
+	}
+
+	// Exactness: re-scrape each member directly and check the fleet
+	// page against per-member truth — gauges per node, counters and
+	// histogram buckets as sums. The endpoint="topk" series are stable
+	// between the two scrapes (only metrics-endpoint traffic happened).
+	sumLive, sumTopkCount := 0.0, 0.0
+	fleetTopkCount := 0.0
+	if f := fams["topkd_http_request_duration_seconds"]; f != nil {
+		for _, s := range f.samples {
+			if s.labels["endpoint"] == "topk" && s.labels["le"] == "+Inf" {
+				fleetTopkCount = s.value
+			}
+		}
+	}
+	for _, u := range memberURLs {
+		mfams := parseProm(t, fetchPage(t, u+"/v1/metrics"))
+		ml := mfams["topkd_points_live"]
+		if ml == nil || len(ml.samples) != 1 {
+			t.Fatalf("member %s points_live = %+v", u, ml)
+		}
+		if ml.samples[0].value != liveByNode[u] {
+			t.Errorf("member %s live=%v but fleet says %v", u, ml.samples[0].value, liveByNode[u])
+		}
+		sumLive += ml.samples[0].value
+		for _, s := range mfams["topkd_http_request_duration_seconds"].samples {
+			if s.labels["endpoint"] == "topk" && s.labels["le"] == "+Inf" {
+				sumTopkCount += s.value
+			}
+		}
+	}
+	if sumLive == 0 {
+		t.Fatal("members report zero live points; fixture broken")
+	}
+	if fleetTopkCount == 0 || fleetTopkCount != sumTopkCount {
+		t.Errorf("fleet topk request count %v, want the member sum %v (exact histogram merge)", fleetTopkCount, sumTopkCount)
+	}
+
+	// A member emitting garbage fails the federation loudly.
+	// (Simulated at the obs layer in TestFederate; here we only check
+	// the endpoint is absent on non-gateway backends.)
+	srv := httptest.NewServer(New(testStore(t, 100), Options{}))
+	defer srv.Close()
+	var out struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if code := getJSON(t, srv.URL+"/v1/metrics/fleet", &out); code != 404 {
+		t.Fatalf("non-gateway fleet scrape status %d, want 404", code)
+	}
+	if out.Error.Code != "not_gateway" {
+		t.Fatalf("code %q, want not_gateway", out.Error.Code)
+	}
+}
+
 // TestStatsLatencyQuantiles: /v1/stats reports per-endpoint p50/p95/p99
 // estimated from the same histograms /v1/metrics exports.
 func TestStatsLatencyQuantiles(t *testing.T) {

@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	topk "repro"
+	"repro/internal/ingest"
 	"repro/internal/obs"
 )
 
@@ -179,7 +180,10 @@ func New(st topk.Store, opt Options) http.Handler {
 			// with a pollable outcome ID. The band check above already
 			// ran — a misrouted write still fails loudly and
 			// synchronously; only in-band writes are deferred.
-			f := func() topk.Future { defer t.TimeOp("insert")(); return aw.SubmitInsert(req.X, req.Score) }()
+			f := func() topk.Future {
+				defer t.TimeOpCtx(r.Context(), "insert")()
+				return aw.SubmitInsert(req.X, req.Score)
+			}()
 			writeJSONStatus(w, http.StatusAccepted,
 				map[string]any{"accepted": true, "outcome": outcomes.add(f)}, t.Log)
 			return
@@ -188,7 +192,7 @@ func New(st topk.Store, opt Options) http.Handler {
 		// concurrent duplicates race to one 200 and one 409 — and a
 		// duplicate score anywhere in the fleet is a 409 too.
 		st := bindStore(st, r)
-		err := func() error { defer t.TimeOp("insert")(); return st.Insert(req.X, req.Score) }()
+		err := func() error { defer t.TimeOpCtx(r.Context(), "insert")(); return st.Insert(req.X, req.Score) }()
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -203,13 +207,16 @@ func New(st topk.Store, opt Options) http.Handler {
 			return
 		}
 		if asyncAck {
-			f := func() topk.Future { defer t.TimeOp("delete")(); return aw.SubmitDelete(req.X, req.Score) }()
+			f := func() topk.Future {
+				defer t.TimeOpCtx(r.Context(), "delete")()
+				return aw.SubmitDelete(req.X, req.Score)
+			}()
 			writeJSONStatus(w, http.StatusAccepted,
 				map[string]any{"accepted": true, "outcome": outcomes.add(f)}, t.Log)
 			return
 		}
 		st := bindStore(st, r)
-		found := func() bool { defer t.TimeOp("delete")(); return st.Delete(req.X, req.Score) }()
+		found := func() bool { defer t.TimeOpCtx(r.Context(), "delete")(); return st.Delete(req.X, req.Score) }()
 		writeJSON(w, map[string]any{"found": found, "n": st.Len()})
 	})
 
@@ -221,7 +228,7 @@ func New(st topk.Store, opt Options) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad_request", "bad json: %v", err)
 			return
 		}
-		items, err := runBatch(bindStore(st, r), opt, t, req.Ops)
+		items, err := runBatch(r.Context(), bindStore(st, r), opt, t, req.Ops)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "bad_request", "%v", err)
 			return
@@ -251,7 +258,7 @@ func New(st topk.Store, opt Options) http.Handler {
 		}
 		st := bindStore(st, r)
 		res := func() []topk.Result {
-			defer t.TimeOp("topk")()
+			defer t.TimeOpCtx(r.Context(), "topk")()
 			return st.TopK(x1, x2, ClampPage(st, off, k))
 		}()
 		if off < len(res) {
@@ -270,7 +277,7 @@ func New(st topk.Store, opt Options) http.Handler {
 			return
 		}
 		st := bindStore(st, r)
-		n := func() int { defer t.TimeOp("count")(); return st.Count(x1, x2) }()
+		n := func() int { defer t.TimeOpCtx(r.Context(), "count")(); return st.Count(x1, x2) }()
 		writeJSON(w, map[string]any{"count": n})
 	})
 
@@ -306,10 +313,17 @@ func New(st topk.Store, opt Options) http.Handler {
 
 	// A finished trace's span tree, by ID. The ID comes out of the
 	// X-Topkd-Trace response header of the traced request (issued by
-	// the middleware, or adopted from the client's own header); a
-	// gateway's tree shows one span per member RPC plus the merge.
+	// the middleware, or adopted from the client's own header). On a
+	// gateway the local tree — root plus one span per member RPC plus
+	// the merge — is stitched: the handler fans back out to the members
+	// that served RPCs for this trace, fetches each member's own span
+	// tree for the same ID, and splices it under the RPC span that
+	// issued it (matched by the X-Topkd-Parent-Span ID the client
+	// stamped), so one lookup returns the complete cross-process tree.
 	// Traces live in a bounded ring, so a 404 means "never sampled or
-	// already evicted", not "never happened".
+	// already evicted", not "never happened"; a member that has evicted
+	// (or never sampled) its half degrades that subtree gracefully —
+	// the RPC span stays, unspliced.
 	handleV1("GET", "/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		tr := t.Tracer.Get(id)
@@ -318,7 +332,11 @@ func New(st topk.Store, opt Options) http.Handler {
 				"no finished trace %q (not sampled, or evicted from the ring)", id)
 			return
 		}
-		writeJSON(w, tr.Tree())
+		tree := tr.Tree()
+		if tf, ok := probe[traceFetcher](st); ok {
+			stitchMembers(r.Context(), tf, id, &tree)
+		}
+		writeJSON(w, tree)
 	})
 
 	// The outcome of an async-acked write, by the ID the 202 response
@@ -392,6 +410,27 @@ func New(st topk.Store, opt Options) http.Handler {
 			metric("topkd_ingest_group_max", "gauge", "Largest single group the ingest batcher has committed.", s.MaxGroup)
 			metric("topkd_ingest_pending", "gauge", "Writes enqueued in the ingest batcher and not yet committed.", s.Pending)
 		}
+		if it, ok := st.(interface{ IngestTelemetry() *ingest.Telemetry }); ok {
+			if tel := it.IngestTelemetry(); tel != nil {
+				obs.WriteCountHistogram(&b, "topkd_ingest_group_size",
+					"Ops per committed write group (value histogram, power-of-two buckets).", &tel.GroupSize)
+				obs.WriteHistogram(&b, "topkd_ingest_flush_duration_seconds",
+					"Backend flush latency per committed write group.", &tel.FlushLatency)
+				obs.WriteHistogram(&b, "topkd_ingest_backpressure_wait_seconds",
+					"Time producers spent driving commits because pending writes exceeded MaxPending.", &tel.BackpressureWait)
+				fmt.Fprintf(&b, "# HELP topkd_ingest_flushes_by_reason_total Write groups committed, by the trigger that drove the flush.\n"+
+					"# TYPE topkd_ingest_flushes_by_reason_total counter\n")
+				for _, rc := range tel.ReasonCounts() {
+					fmt.Fprintf(&b, "topkd_ingest_flushes_by_reason_total{reason=%q} %d\n", rc.Reason, rc.N)
+				}
+			}
+		}
+		if asyncAck {
+			size, ev := outcomes.snapshot()
+			metric("topkd_outcome_ring_occupancy", "gauge", "Async-ack outcomes currently retained and queryable.", int64(size))
+			metric("topkd_outcome_ring_evictions_total", "counter", "Async-ack outcomes evicted from the bounded ring (the cause of outcome_not_found).", ev)
+		}
+		metric("topkd_trace_ring_evictions_total", "counter", "Finished traces evicted from the bounded ring (the cause of trace_not_found).", t.Tracer.RingEvictions())
 		if ep, ok := probe[interface{ Epoch() int64 }](st); ok {
 			// A gauge, not a counter: it tracks the snapshot version,
 			// which also advances on stats resets, not only on
@@ -408,6 +447,13 @@ func New(st topk.Store, opt Options) http.Handler {
 		if rf, ok := probe[interface{ ReadFailovers() int64 }](st); ok {
 			metric("topkd_cluster_read_failovers_total", "counter", "Reads retried on a replica after the preferred member failed.", rf.ReadFailovers())
 		}
+		if he, ok := probe[interface {
+			Ejections() int64
+			Recoveries() int64
+		}](st); ok {
+			metric("topkd_cluster_ejections_total", "counter", "Ejection episodes begun by the health checker (healthy to ejected transitions).", he.Ejections())
+			metric("topkd_cluster_recoveries_total", "counter", "Ejection episodes ended by a member answering again.", he.Recoveries())
+		}
 		metric("topkd_http_in_flight_requests", "gauge", "Requests currently inside the serving middleware.", t.InFlight())
 		obs.WriteHistogramVec(&b, "topkd_http_request_duration_seconds",
 			"Request latency by endpoint.", "endpoint", t.HTTP)
@@ -418,6 +464,36 @@ func New(st topk.Store, opt Options) http.Handler {
 				"Member RPC latency by member address, as seen by this gateway's cluster client.", "member", rv.RPCDurations())
 		}
 		obs.WriteRuntimeMetrics(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+
+	// Fleet-federated metrics, gateway only: scrape every member's
+	// /v1/metrics, merge counters and histograms exactly (every
+	// histogram in the fleet shares the identical 2^i bucket
+	// boundaries, so summing per-bucket counts is lossless), and label
+	// per-member gauges by node address. One scrape yields true fleet
+	// p50/p95/p99 instead of N pages to combine client-side. The
+	// gateway's own process page stays at /v1/metrics.
+	handleV1("GET", "/metrics/fleet", func(w http.ResponseWriter, r *http.Request) {
+		ms, ok := probe[metricsScraper](st)
+		if !ok {
+			httpError(w, http.StatusNotFound, "not_gateway",
+				"metrics federation needs a cluster backend (this process serves no members)")
+			return
+		}
+		pages, total := ms.ScrapeMetrics(r.Context())
+		fams, err := obs.Federate(pages)
+		if err != nil {
+			httpError(w, http.StatusBadGateway, "bad_member_page", "federation failed: %v", err)
+			return
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "# HELP topkd_fleet_members Member nodes configured in the fleet.\n"+
+			"# TYPE topkd_fleet_members gauge\ntopkd_fleet_members %d\n", total)
+		fmt.Fprintf(&b, "# HELP topkd_fleet_members_scraped Member nodes that answered this federation scrape.\n"+
+			"# TYPE topkd_fleet_members_scraped gauge\ntopkd_fleet_members_scraped %d\n", len(pages))
+		obs.WriteFamilies(&b, fams)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_, _ = w.Write([]byte(b.String()))
 	})
@@ -451,15 +527,48 @@ func New(st topk.Store, opt Options) http.Handler {
 			out["nodes"] = cl.Nodes()
 			out["ejected"] = cl.Ejected()
 		}
-		// Group-commit counters when the store batches writes.
+		// Group-commit counters when the store batches writes, plus the
+		// write-path telemetry: flush-reason counters and group-size /
+		// flush-latency quantiles from the same histograms /v1/metrics
+		// exports raw.
 		if bs, ok := st.(interface{ BatcherStats() topk.BatcherStats }); ok {
 			s := bs.BatcherStats()
-			out["batcher"] = map[string]any{
+			batcher := map[string]any{
 				"flushes":   s.Flushes,
 				"ops":       s.Ops,
 				"max_group": s.MaxGroup,
 				"pending":   s.Pending,
 			}
+			if it, ok := st.(interface{ IngestTelemetry() *ingest.Telemetry }); ok {
+				if tel := it.IngestTelemetry(); tel != nil {
+					reasons := map[string]int64{}
+					for _, rc := range tel.ReasonCounts() {
+						reasons[rc.Reason] = rc.N
+					}
+					batcher["flush_reasons"] = reasons
+					if gs := tel.GroupSize.Snapshot(); gs.Count > 0 {
+						batcher["group_size"] = map[string]any{
+							"count": gs.Count,
+							"p50":   gs.Quantile(0.50),
+							"p95":   gs.Quantile(0.95),
+							"p99":   gs.Quantile(0.99),
+						}
+					}
+					if fl := tel.FlushLatency.Snapshot(); fl.Count > 0 {
+						batcher["flush_latency"] = map[string]any{
+							"count":  fl.Count,
+							"p50_ms": float64(fl.Quantile(0.50)) / 1e6,
+							"p95_ms": float64(fl.Quantile(0.95)) / 1e6,
+							"p99_ms": float64(fl.Quantile(0.99)) / 1e6,
+						}
+					}
+				}
+			}
+			if asyncAck {
+				size, ev := outcomes.snapshot()
+				batcher["outcome_ring"] = map[string]any{"occupancy": size, "evictions": ev}
+			}
+			out["batcher"] = batcher
 		}
 		// Latency quantiles per endpoint, estimated from the same
 		// histograms /v1/metrics exports raw (so p99 here is within one
@@ -505,14 +614,59 @@ func probe[T any](st topk.Store) (T, bool) {
 	return zero, false
 }
 
+// metricsScraper is the optional gateway surface behind metrics
+// federation: fetch every member's raw metrics page (topk.Cluster).
+type metricsScraper interface {
+	ScrapeMetrics(ctx context.Context) ([]obs.MetricsPage, int)
+}
+
+// traceFetcher is the optional gateway surface behind trace stitching:
+// fetch one member's span tree for a trace ID (topk.Cluster).
+type traceFetcher interface {
+	FetchTrace(ctx context.Context, addr, id string) (obs.TraceJSON, error)
+}
+
+// stitchMembers completes a gateway trace: every distinct member
+// address in the tree served at least one RPC for this trace, so fetch
+// each member's own half in parallel and splice the subtrees under the
+// RPC spans that issued them. Failures degrade gracefully — a member
+// that is down, never sampled the trace, or already evicted it simply
+// leaves its RPC span childless.
+func stitchMembers(ctx context.Context, tf traceFetcher, id string, tree *obs.TraceJSON) {
+	addrs := obs.SpanAddrs(tree.Root)
+	if len(addrs) == 0 {
+		return
+	}
+	subs := make([]*obs.TraceJSON, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			if mt, err := tf.FetchTrace(ctx, addr, id); err == nil {
+				subs[i] = &mt
+			}
+		}(i, addr)
+	}
+	wg.Wait()
+	members := make([]obs.TraceJSON, 0, len(subs))
+	for _, s := range subs {
+		if s != nil {
+			members = append(members, *s)
+		}
+	}
+	obs.Stitch(&tree.Root, members)
+}
+
 // outcomeRing is the bounded registry of async-acked write outcomes,
 // the same eviction shape as the trace ring: the newest cap entries
 // stay queryable, older ones age out.
 type outcomeRing struct {
-	mu  sync.Mutex
-	cap int
-	ids []string // insertion order, oldest first
-	m   map[string]topk.Future
+	mu        sync.Mutex
+	cap       int
+	ids       []string // insertion order, oldest first
+	m         map[string]topk.Future
+	evictions int64
 }
 
 func newOutcomeRing(cap int) *outcomeRing {
@@ -531,6 +685,7 @@ func (g *outcomeRing) add(f topk.Future) string {
 	if len(g.ids) >= g.cap {
 		delete(g.m, g.ids[0])
 		g.ids = g.ids[1:]
+		g.evictions++
 	}
 	g.ids = append(g.ids, id)
 	g.m[id] = f
@@ -542,6 +697,14 @@ func (g *outcomeRing) get(id string) (topk.Future, bool) {
 	defer g.mu.Unlock()
 	f, ok := g.m[id]
 	return f, ok
+}
+
+// snapshot returns the ring's occupancy and lifetime eviction count —
+// the gauges that explain outcome_not_found responses.
+func (g *outcomeRing) snapshot() (size int, evictions int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.ids), g.evictions
 }
 
 // bindStore gives st the request's context when the backend can carry
@@ -570,7 +733,7 @@ func bindStore(st topk.Store, r *http.Request) topk.Store {
 // offset highest-scoring qualifying points, the fetch is clamped to
 // min(n, offset+k), and a negative offset is a structured 400 for the
 // whole batch (like an unknown op — the request itself is malformed).
-func runBatch(st topk.Store, opt Options, t *obs.Telemetry, ops []batchOp) ([]batchItem, error) {
+func runBatch(ctx context.Context, st topk.Store, opt Options, t *obs.Telemetry, ops []batchOp) ([]batchItem, error) {
 	updates := make([]topk.BatchOp, 0, len(ops))
 	updateAt := make([]int, 0, len(ops))
 	queries := make([]topk.Query, 0)
@@ -609,7 +772,7 @@ func runBatch(st topk.Store, opt Options, t *obs.Telemetry, ops []batchOp) ([]ba
 		if len(updates) == 0 {
 			return nil
 		}
-		defer t.TimeOp("apply_batch")()
+		defer t.TimeOpCtx(ctx, "apply_batch")()
 		return st.ApplyBatch(updates)
 	}()
 	for j, err := range applied {
@@ -629,7 +792,7 @@ func runBatch(st topk.Store, opt Options, t *obs.Telemetry, ops []batchOp) ([]ba
 		if len(queries) == 0 {
 			return nil
 		}
-		defer t.TimeOp("query_batch")()
+		defer t.TimeOpCtx(ctx, "query_batch")()
 		return st.QueryBatch(queries)
 	}()
 	for j, res := range answered {

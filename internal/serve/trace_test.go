@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -87,10 +88,27 @@ func TestTraceDifferential(t *testing.T) {
 		}
 
 		// Differential leg 2: the gateway's span tree for the same ID
-		// has one member-RPC span per band plus the merge span.
+		// has one member-RPC span per band plus the merge span — and,
+		// since /v1/trace stitches, each RPC span must carry the
+		// member's own handler subtree spliced beneath it. The member
+		// middleware finishes its trace a beat after its response body
+		// is on the wire, so poll briefly before judging.
 		var tree obs.TraceJSON
-		if code := getJSON(t, gw.URL+"/v1/trace/"+id, &tree); code != 200 {
-			t.Fatalf("trace lookup status %d", code)
+		stitched := false
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			if code := getJSON(t, gw.URL+"/v1/trace/"+id, &tree); code != 200 {
+				t.Fatalf("trace lookup status %d", code)
+			}
+			stitched = true
+			for _, sp := range tree.Root.Children {
+				if sp.Addr != "" && len(sp.Children) == 0 {
+					stitched = false
+				}
+			}
+			if stitched || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 		if tree.ID != id {
 			t.Fatalf("trace tree ID %q, want %q", tree.ID, id)
@@ -106,6 +124,26 @@ func TestTraceDifferential(t *testing.T) {
 					t.Errorf("member span %q, want a /v1/topk RPC", sp.Name)
 				}
 				rpcAddrs[sp.Addr] = true
+				// The spliced member subtree: handler root named like the
+				// RPC, with the Store-op span recorded inside the member
+				// process beneath it.
+				if len(sp.Children) != 1 {
+					t.Errorf("RPC span to %s has %d spliced subtrees, want 1: %+v", sp.Addr, len(sp.Children), sp.Children)
+					continue
+				}
+				member := sp.Children[0]
+				if member.Name != "GET /v1/topk" {
+					t.Errorf("member subtree under %s rooted at %q, want the member handler span", sp.Addr, member.Name)
+				}
+				ops := 0
+				for _, c := range member.Children {
+					if c.Name == "store.topk" {
+						ops++
+					}
+				}
+				if ops != 1 {
+					t.Errorf("member subtree under %s has %d store.topk spans, want 1: %+v", sp.Addr, ops, member.Children)
+				}
 			}
 		}
 		if len(rpcAddrs) != 2 {
